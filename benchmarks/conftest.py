@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+experiment registry, times the reproduction with pytest-benchmark, prints
+the same rows/series the paper reports, and sanity-checks the headline
+claims so a silent model regression fails the bench run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkRunner, run_experiment
+from repro.bench.experiments import ExperimentResult
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return BenchmarkRunner()
+
+
+@pytest.fixture
+def reproduce(benchmark, runner):
+    """Benchmark one experiment and emit its table + headline claims."""
+
+    def _run(experiment_id: str) -> ExperimentResult:
+        result = benchmark(run_experiment, experiment_id, runner)
+        print()
+        print(result.render())
+        print(result.table.render(max_rows=40))
+        assert result.measured, f"{experiment_id} produced no headline claims"
+        return result
+
+    return _run

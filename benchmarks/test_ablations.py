@@ -1,0 +1,197 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism off and shows the headline result it
+drives disappearing — evidence that the simulator reproduces the paper's
+findings for the right reasons, not by coincidence of constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.kvcache import KVCacheSpec
+from repro.models.zoo import get_model
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.parallelism import ParallelismPlan
+from repro.perf.phases import Deployment
+
+
+def _tput(dep: Deployment, config: GenerationConfig) -> float:
+    return InferenceEstimator(dep).throughput(config)
+
+
+def test_ablation_paged_vs_contiguous_kv(benchmark):
+    """Paged allocation is what lets vLLM hold more concurrent sequences.
+
+    Forcing contiguous allocation on the same deployment slashes the
+    concurrency cap — the Fig. 2b / Gaudi2-OOM mechanism.
+    """
+    dep = Deployment(
+        get_model("LLaMA-2-7B"), get_hardware("A100"), get_framework("vLLM")
+    )
+    config = GenerationConfig(1800, 200, 64)
+
+    def run():
+        paged = InferenceEstimator(dep).capacity(config).max_concurrency
+        contiguous_dep = dep.with_kv_spec(KVCacheSpec(paged=False))
+        contiguous = (
+            InferenceEstimator(contiguous_dep).capacity(config).max_concurrency
+        )
+        return paged, contiguous
+
+    paged, contiguous = benchmark(run)
+    print(f"\nmax concurrency: paged={paged} contiguous={contiguous}")
+    # Contiguous reserves full final contexts; paged rounds to blocks only,
+    # so it can never hold fewer sequences.
+    assert paged >= contiguous
+
+
+def test_ablation_continuous_vs_static_batching(benchmark):
+    """Continuous batching turns would-be OOMs into throughput waves."""
+    base = Deployment(
+        get_model("LLaMA-3-70B"),
+        get_hardware("A100"),
+        get_framework("vLLM"),
+        plan=ParallelismPlan(tp=4),
+    )
+    static_fw = replace(get_framework("vLLM"), name="vLLM-static",
+                        continuous_batching=False)
+    static = Deployment(
+        get_model("LLaMA-3-70B"),
+        get_hardware("A100"),
+        static_fw,
+        plan=ParallelismPlan(tp=4),
+    )
+    config = GenerationConfig(1024, 1024, 64)
+
+    def run():
+        return (
+            InferenceEstimator(base).estimate(config),
+            InferenceEstimator(static).estimate(config),
+        )
+
+    continuous, static_m = benchmark(run)
+    print(
+        f"\ncontinuous: {continuous.throughput_tokens_per_s:.0f} tok/s, "
+        f"static: {'OOM' if static_m.oom else static_m.throughput_tokens_per_s}"
+    )
+    assert not continuous.oom
+    assert static_m.oom
+
+
+def test_ablation_gqa_aware_kernels(benchmark):
+    """GQA awareness is what flips the LLaMA-2 vs LLaMA-3 ordering.
+
+    With vLLM's GQA-aware kernels LLaMA-3-8B wins at large batch; giving
+    vLLM llama.cpp's GQA-oblivious penalty flips the ordering back — the
+    Fig. 8-vs-Fig. 14 contrast.
+    """
+    config = GenerationConfig(1024, 1024, 64)
+    a100 = get_hardware("A100")
+    aware = get_framework("vLLM")
+    oblivious = replace(aware, name="vLLM-noGQA", gqa_kv_penalty=4.0)
+
+    def run():
+        out = {}
+        for fw in (aware, oblivious):
+            l2 = _tput(Deployment(get_model("LLaMA-2-7B"), a100, fw), config)
+            l3 = _tput(Deployment(get_model("LLaMA-3-8B"), a100, fw), config)
+            out[fw.name] = l3 / l2
+        return out
+
+    ratios = benchmark(run)
+    print(f"\nLLaMA-3/LLaMA-2 ratio: {ratios}")
+    assert ratios["vLLM"] > 1.2  # GQA model wins with aware kernels
+    assert ratios["vLLM-noGQA"] < ratios["vLLM"]  # advantage collapses
+
+
+def test_ablation_memory_capacity_waves(benchmark):
+    """The H100-39x vs A100-3x contrast needs the concurrency cap.
+
+    Removing the cap (pretend A100 devices had 10x memory) restores large
+    batch scaling on A100 — i.e. the scaling gap is a memory-capacity
+    effect, not a compute one.
+    """
+    plan = ParallelismPlan(tp=4)
+    model = get_model("LLaMA-3-70B")
+    a100 = get_hardware("A100")
+    roomy_a100 = replace(a100, memory_per_device_bytes=a100.memory_per_device_bytes * 10)
+    fw = get_framework("TRT-LLM")
+
+    def scaling(hw):
+        dep = Deployment(model, hw, fw, plan=plan)
+        est = InferenceEstimator(dep)
+        t1 = est.throughput(GenerationConfig(1024, 1024, 1))
+        t64 = est.throughput(GenerationConfig(1024, 1024, 64))
+        return t64 / t1
+
+    def run():
+        return scaling(a100), scaling(roomy_a100)
+
+    capped, roomy = benchmark(run)
+    print(f"\nbatch scaling 1->64: capped={capped:.1f}x roomy={roomy:.1f}x")
+    assert capped < 6.0
+    assert roomy > 3 * capped
+
+
+def test_ablation_speculative_acceptance_model(benchmark):
+    """SD's length decay comes from the acceptance model, not the costs."""
+    from repro.perf import speculative as sd
+
+    dep = Deployment(
+        get_model("LLaMA-2-7B"), get_hardware("A100"), get_framework("vLLM")
+    )
+    spec = sd.SpeculativeConfig(draft_model=get_model("LLaMA-68M"), gamma=4)
+
+    def run():
+        short = sd.speculative_speedup(dep, spec, GenerationConfig(128, 128, 1))
+        long = sd.speculative_speedup(dep, spec, GenerationConfig(2048, 2048, 1))
+        a_short = sd.acceptance_rate(dep.model, spec.draft_model, 128)
+        a_long = sd.acceptance_rate(dep.model, spec.draft_model, 2048)
+        return short, long, a_short, a_long
+
+    short, long, a_short, a_long = benchmark(run)
+    print(
+        f"\nspeedup 128: {short:.2f} (accept {a_short:.2f}), "
+        f"2048: {long:.2f} (accept {a_long:.2f})"
+    )
+    assert a_long < a_short
+    assert long < short
+
+
+def test_ablation_optimistic_vs_conservative_admission(benchmark):
+    """Optimistic (vLLM-real) admission packs more sequences up front at
+    the cost of recompute preemptions; conservative admission never
+    preempts.  Both complete the same work."""
+    from repro.runtime.engine import ServingEngine
+    from repro.runtime.trace import fixed_batch_trace
+
+    dep = Deployment(
+        get_model("LLaMA-2-7B"), get_hardware("A100"), get_framework("vLLM")
+    )
+
+    def run():
+        conservative = ServingEngine(dep, max_concurrency=24).run(
+            fixed_batch_trace(24, 1800, 2200)
+        )
+        optimistic = ServingEngine(dep, max_concurrency=24, optimistic=True).run(
+            fixed_batch_trace(24, 1800, 2200)
+        )
+        return conservative, optimistic
+
+    conservative, optimistic = benchmark(run)
+    print(
+        f"\nconservative: {conservative.throughput_tokens_per_s:,.0f} tok/s, "
+        f"0 preemptions | optimistic: "
+        f"{optimistic.throughput_tokens_per_s:,.0f} tok/s, "
+        f"{optimistic.scheduler_stats.preemptions} preemptions"
+    )
+    assert conservative.scheduler_stats.preemptions == 0
+    assert optimistic.scheduler_stats.preemptions > 0
+    # Same total work either way.
+    assert optimistic.total_tokens == conservative.total_tokens

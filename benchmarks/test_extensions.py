@@ -1,0 +1,46 @@
+"""Extension experiments: deferred/footnoted items the paper did not plot."""
+
+
+def test_ext_energy_all_platforms(reproduce):
+    result = reproduce("ext-energy")
+    assert result.measured["a100_joules_over_h100"] > 1.0
+
+
+def test_ext_mi300x_positioning(reproduce):
+    result = reproduce("ext-mi300x")
+    assert result.measured["mi300x_over_mi250"] > 1.5
+    assert result.measured["mixtral_fits_single_mi300x"] == 1.0
+
+
+def test_ext_peak_batch_search(reproduce):
+    result = reproduce("ext-peak-batch")
+    assert result.measured["mi250_peak_batch"] == 32.0
+    assert result.measured["h100_peak_beyond_64"] == 1.0
+
+
+def test_ext_int4_tradeoff(reproduce):
+    result = reproduce("ext-int4")
+    assert result.measured["int4_speedup_over_fp16"] > 1.3
+    assert 1.0 < result.measured["int4_ppl_over_fp16"] < 1.1
+
+
+def test_ext_slo_goodput(reproduce):
+    result = reproduce("ext-slo")
+    assert result.measured["light_load_slo_attainment"] > 0.9
+    assert result.measured["p95_ttft_inflation_under_load"] > 1.5
+
+
+def test_ext_multinode_scaling(reproduce):
+    result = reproduce("ext-multinode")
+    # Pipeline bubble bounds compute-rich scaling; capacity relief makes
+    # memory-starved scaling superlinear.
+    assert 1.0 < result.measured["h100_scaling_1_to_4_nodes"] < 2.5
+    assert result.measured["a100_scaling_1_to_2_nodes"] > 2.0
+
+
+def test_ext_moe_designs(reproduce):
+    result = reproduce("ext-moe")
+    assert result.measured["qwen_moe_active_share_bs1"] < (
+        result.measured["mixtral_active_share_bs1"]
+    )
+    assert result.measured["mixtral_pool_hot_fraction_bs64"] > 0.99

@@ -1,0 +1,11 @@
+"""Fig. 1: batch-size and blended-token throughput scaling (Section IV-A)."""
+
+
+def test_fig1a_batch_scaling(reproduce):
+    result = reproduce("fig1a")
+    assert result.measured["bs64_over_bs1_at_2048"] > 10.0
+
+
+def test_fig1b_blended_tokens(reproduce):
+    result = reproduce("fig1b")
+    assert result.measured["in1024_out128_over_in128_out1024"] > 4.0

@@ -1,0 +1,11 @@
+"""Fig. 2: KV caching (plain and blocked/paged, Section IV-B1/B2)."""
+
+
+def test_fig2a_kv_cache_benefit(reproduce):
+    result = reproduce("fig2a")
+    assert result.measured["kv_speedup_at_1024"] > result.measured["kv_speedup_at_128"] > 1.0
+
+
+def test_fig2b_block_size(reproduce):
+    result = reproduce("fig2b")
+    assert result.measured["block16_over_block8_bs64"] > 1.1

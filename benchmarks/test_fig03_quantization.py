@@ -1,0 +1,7 @@
+"""Fig. 3: FP16 vs FP8 vs INT8 on A100/H100 (Section IV-B3)."""
+
+
+def test_fig3_quantization(reproduce):
+    result = reproduce("fig3")
+    assert result.measured["h100_fp8_over_fp16"] > 1.1
+    assert result.measured["a100_int8_over_fp16"] > 1.1

@@ -1,0 +1,12 @@
+"""Fig. 4: NAS (DeciLM) and speculative decoding (Section IV-B4/B5)."""
+
+
+def test_fig4a_nas(reproduce):
+    result = reproduce("fig4a")
+    assert result.measured["deci_over_llama3_a100"] > 1.0
+
+
+def test_fig4b_speculative_decoding(reproduce):
+    result = reproduce("fig4b")
+    assert result.measured["llama2_speedup_at_128"] > 1.0
+    assert result.measured["mixtral_speedup_at_128"] < 1.0

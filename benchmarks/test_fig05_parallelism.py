@@ -1,0 +1,11 @@
+"""Fig. 5: TP vs PP vs EP vs hybrid on 4 A100s (Section IV-C)."""
+
+
+def test_fig5a_dense_parallelism(reproduce):
+    result = reproduce("fig5a")
+    assert result.measured["tp_over_pp"] > result.measured["tp_over_hybrid"] > 1.0
+
+
+def test_fig5b_moe_parallelism(reproduce):
+    result = reproduce("fig5b")
+    assert result.measured["tp_over_pp_moe"] > 1.0

@@ -1,0 +1,17 @@
+"""Figs. 6/7/34: TRT-LLM framework study (Section V-1, Appendix E)."""
+
+
+def test_fig6_7b_models(reproduce):
+    result = reproduce("fig6")
+    assert result.measured["gqa_over_mhsa_bs64_a100"] > 1.5
+
+
+def test_fig7_70b_and_moe(reproduce):
+    result = reproduce("fig7")
+    assert result.measured["h100_batch_scaling_1_to_64"] > 20.0
+    assert result.measured["a100_batch_scaling_1_to_64"] < 6.0
+
+
+def test_fig34_cross_framework_70b(reproduce):
+    result = reproduce("fig34")
+    assert result.measured["mixtral_margin_over_70b"] > 1.3

@@ -1,0 +1,11 @@
+"""Figs. 8/9: vLLM across hardware (Section V-2)."""
+
+
+def test_fig8_7b_models(reproduce):
+    result = reproduce("fig8")
+    assert result.measured["gh200_over_h100"] > 1.0
+
+
+def test_fig9_70b_models(reproduce):
+    result = reproduce("fig9")
+    assert result.measured["mixtral_over_llama2_70b"] > 1.0

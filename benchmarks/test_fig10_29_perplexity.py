@@ -1,0 +1,16 @@
+"""Figs. 10/29: perplexity vs throughput on the LongBench mix."""
+
+
+def test_fig10_a100_tradeoff(reproduce):
+    result = reproduce("fig10")
+    assert 0.0 < result.measured["mistral_ppl_minus_llama2"] < 0.3
+
+
+def test_fig29_h100_tradeoff(reproduce):
+    result = reproduce("fig29")
+    assert result.measured["decilm_highest_throughput"] > 1.0
+
+
+def test_longbench_tokenizer_effect(reproduce):
+    result = reproduce("longbench")
+    assert result.measured["small_vocab_tokens_over_large"] > 1.2

@@ -1,0 +1,11 @@
+"""Figs. 11/12: DeepSpeed-MII behaviour (Section V-3)."""
+
+
+def test_fig11_gqa_oblivious_ordering(reproduce):
+    result = reproduce("fig11")
+    assert result.measured["llama2_over_llama3_bs64_len128"] > 1.0
+
+
+def test_fig12_mixtral_crossover(reproduce):
+    result = reproduce("fig12")
+    assert result.measured["dsmii_over_vllm_bs64_len2048"] > 0.95

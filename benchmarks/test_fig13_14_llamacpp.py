@@ -1,0 +1,16 @@
+"""Figs. 13/14/32: llama.cpp behaviour (Section V-4, Appendix E-C)."""
+
+
+def test_fig13_device_scaling(reproduce):
+    result = reproduce("fig13")
+    assert result.measured["a100_scaling_1_to_4_gpus"] < 2.0
+
+
+def test_fig14_mhsa_beats_gqa(reproduce):
+    result = reproduce("fig14")
+    assert result.measured["llama2_over_llama3"] > 1.0
+
+
+def test_fig32_70b_models(reproduce):
+    result = reproduce("fig32")
+    assert result.measured["llama2_70b_a100_oom"] == 1.0

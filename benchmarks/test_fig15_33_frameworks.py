@@ -1,0 +1,12 @@
+"""Figs. 15/33: framework shoot-outs on A100 and H100 (Section VI-1)."""
+
+
+def test_fig15_a100_ordering(reproduce):
+    result = reproduce("fig15")
+    assert result.measured["trtllm_over_vllm"] > 1.0
+    assert result.measured["vllm_over_dsmii"] > 1.0
+
+
+def test_fig33_h100_comparison(reproduce):
+    result = reproduce("fig33")
+    assert result.measured["qwen2_trtllm_is_best"] > 1.0

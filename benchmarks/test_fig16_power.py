@@ -1,0 +1,7 @@
+"""Fig. 16: power consumption and throughput per watt (Section VI-1)."""
+
+
+def test_fig16_power_and_efficiency(reproduce):
+    result = reproduce("fig16")
+    assert result.measured["trtllm_power_over_vllm_a100"] > 1.0
+    assert result.measured["trtllm_perf_per_watt_over_vllm"] > 1.0

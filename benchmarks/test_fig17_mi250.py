@@ -1,0 +1,21 @@
+"""Figs. 17/35/36/37: MI250 saturation and orderings (Section VI-2)."""
+
+
+def test_fig17_early_saturation(reproduce):
+    result = reproduce("fig17")
+    assert result.measured["bs64_over_bs32_at_1024"] < 1.0
+
+
+def test_fig35_vllm_7b(reproduce):
+    result = reproduce("fig35")
+    assert result.measured["llama3_bs64_over_bs32"] < 1.0
+
+
+def test_fig36_llamacpp_7b(reproduce):
+    result = reproduce("fig36")
+    assert result.measured["llama2_over_best_gqa"] > 0.95
+
+
+def test_fig37_vllm_70b(reproduce):
+    result = reproduce("fig37")
+    assert result.measured["mixtral_over_best_dense_70b"] > 1.0

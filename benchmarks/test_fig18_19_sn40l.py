@@ -1,0 +1,11 @@
+"""Figs. 18/19: SambaNova SN40L vs GPU nodes (Section VI-3)."""
+
+
+def test_fig18_7b_models(reproduce):
+    result = reproduce("fig18")
+    assert result.measured["sn40l_len512_over_len128"] > 1.0
+
+
+def test_fig19_70b_model(reproduce):
+    result = reproduce("fig19")
+    assert result.measured["sn40l_over_4xa100_70b"] > 1.3

@@ -1,0 +1,12 @@
+"""Figs. 20/38: Habana Gaudi2 vs A100/H100 (Section VI-4)."""
+
+
+def test_fig20_7b_models(reproduce):
+    result = reproduce("fig20")
+    assert result.measured["gaudi2_over_a100_bs16"] > 1.0
+    assert result.measured["gaudi2_oom_at_bs64"] == 1.0
+
+
+def test_fig38_70b_models(reproduce):
+    result = reproduce("fig38")
+    assert result.measured["gaudi2_over_a100_70b"] > 1.0

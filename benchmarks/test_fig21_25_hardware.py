@@ -1,0 +1,26 @@
+"""Figs. 21-25: cross-hardware latency/throughput panels (Section VII-2)."""
+
+
+def test_fig21_ttft(reproduce):
+    result = reproduce("fig21")
+    assert result.measured["sn40l_ttft_over_worst_gpu"] > 1.5
+
+
+def test_fig22_itl(reproduce):
+    result = reproduce("fig22")
+    assert result.measured["sn40l_itl_over_best_gpu"] < 1.0
+
+
+def test_fig23_batch_panel(reproduce):
+    result = reproduce("fig23")
+    assert result.measured["sn40l_best_up_to_bs32"] > 0.95
+
+
+def test_fig24_length_panel(reproduce):
+    result = reproduce("fig24")
+    assert result.measured["sn40l_len512_over_len128"] > 1.0
+
+
+def test_fig25_peak_performance(reproduce):
+    result = reproduce("fig25")
+    assert result.measured["h100_peak_over_a100"] > 1.4

@@ -1,0 +1,11 @@
+"""Figs. 30/31: multi-GPU scaling studies (Appendix E-A/B)."""
+
+
+def test_fig30_trtllm_scaling(reproduce):
+    result = reproduce("fig30")
+    assert result.measured["mistral_scaling_1_to_4"] > 2.0
+
+
+def test_fig31_vllm_scaling(reproduce):
+    result = reproduce("fig31")
+    assert result.measured["h100_over_a100_4gpu"] > 1.3

@@ -1,0 +1,16 @@
+"""Tables I-III: configuration fidelity checks."""
+
+
+def test_table1_models(reproduce):
+    result = reproduce("tab1")
+    assert result.measured["config_mismatches"] == 0.0
+
+
+def test_table2_hardware(reproduce):
+    result = reproduce("tab2")
+    assert result.measured["memory_mismatches"] == 0.0
+
+
+def test_table3_support_matrix(reproduce):
+    result = reproduce("tab3")
+    assert result.measured["support_mismatches"] == 0.0

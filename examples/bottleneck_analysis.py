@@ -1,0 +1,68 @@
+"""Bottleneck analysis: why is each configuration as fast as it is?
+
+Walks the paper's Insights section (VII) with the analysis toolkit:
+attribute latency to mechanisms across models and platforms, find each
+platform's peak batch (footnote 1), and report energy per token — the
+measurement the paper defers for non-Nvidia hardware.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, GenerationConfig, analyze, find_peak_batch
+from repro.hardware.energy import energy_report
+from repro.perf.parallelism import ParallelismPlan
+
+
+def main() -> None:
+    runner = BenchmarkRunner()
+    config = GenerationConfig(1024, 1024, batch_size=32)
+
+    print("=== Mechanism attribution (batch 32, 1024/1024 tokens) ===\n")
+    cases = [
+        ("LLaMA-2-7B", "A100", "vLLM", None),   # MHSA: KV-heavy decode
+        ("LLaMA-3-8B", "A100", "vLLM", None),   # GQA: weight-bound decode
+        ("Mixtral-8x7B", "H100", "TRT-LLM", ParallelismPlan(tp=2)),
+    ]
+    for model, hw, fw, plan in cases:
+        dep = runner.deployment(model, hw, fw, plan=plan)
+        report = analyze(dep, config)
+        print(f"{model} / {hw} / {fw}")
+        print(report.render())
+        print()
+
+    print("=== Peak-batch search (footnote 1) ===\n")
+    panel = [
+        ("A100", "vLLM", None),
+        ("H100", "vLLM", None),
+        ("MI250", "vLLM", None),
+        ("SN40L", "SambaFlow", ParallelismPlan(tp=8)),
+    ]
+    for hw, fw, plan in panel:
+        dep = runner.deployment("LLaMA-3-8B", hw, fw, plan=plan)
+        peak = find_peak_batch(dep, 1024, 1024, max_batch=512)
+        limit = "KV capacity" if peak.memory_limited else "efficiency curve"
+        print(
+            f"  {hw:<8} peak batch {peak.batch_size:>4} "
+            f"({peak.throughput_tokens_per_s:>9,.0f} tok/s, limited by {limit})"
+        )
+
+    print("\n=== Energy per token (deferred measurement, Section III-5e) ===\n")
+    for hw, fw, plan in panel:
+        dep = runner.deployment("LLaMA-3-8B", hw, fw, plan=plan)
+        metrics = runner.run_point(dep, config)
+        if metrics.oom:
+            print(f"  {hw:<8} OOM at this configuration")
+            continue
+        report = energy_report(metrics)
+        print(
+            f"  {hw:<8} {report.joules_per_token:6.3f} J/token "
+            f"({report.average_power_w:5,.0f} W avg, "
+            f"{report.scaled_to_requests(1_000_000):6.1f} kWh per million "
+            f"requests)"
+        )
+
+
+if __name__ == "__main__":
+    main()

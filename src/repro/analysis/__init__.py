@@ -1,0 +1,19 @@
+"""Analysis tooling: bottleneck attribution, peak-batch search, energy."""
+
+from repro.analysis.bottleneck import (
+    Bottleneck,
+    BottleneckReport,
+    PhaseAttribution,
+    analyze,
+)
+from repro.analysis.sweeps import PeakBatchResult, find_peak_batch, throughput_curve
+
+__all__ = [
+    "Bottleneck",
+    "BottleneckReport",
+    "PhaseAttribution",
+    "analyze",
+    "PeakBatchResult",
+    "find_peak_batch",
+    "throughput_curve",
+]

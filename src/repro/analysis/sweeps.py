@@ -1,0 +1,106 @@
+"""Configuration-space search utilities.
+
+The paper's footnote 1 notes that "NVIDIA GPUs and SN40L can handle batch
+sizes beyond 32 and 64 ... peak throughput might be higher" while "the
+performance of AMD GPUs declines beyond a certain batch size".  These
+helpers make that exploration a query: find the throughput-maximizing batch
+(golden-section-style integer search over a unimodal-with-saturation
+curve), and locate the knee where marginal ITL cost stops paying for
+marginal throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.request import GenerationConfig
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.phases import Deployment
+
+__all__ = ["PeakBatchResult", "find_peak_batch", "throughput_curve"]
+
+
+@dataclass(frozen=True)
+class PeakBatchResult:
+    """Outcome of the peak-batch search."""
+
+    batch_size: int
+    throughput_tokens_per_s: float
+    itl_s: float
+    memory_limited: bool  # peak set by KV capacity rather than the curve
+    evaluated: tuple[int, ...]
+
+
+def throughput_curve(
+    dep: Deployment,
+    input_tokens: int,
+    output_tokens: int,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> dict[int, float]:
+    """Throughput at each batch size (0.0 where the point OOMs)."""
+    estimator = InferenceEstimator(dep)
+    return {
+        bs: estimator.throughput(GenerationConfig(input_tokens, output_tokens, bs))
+        for bs in batch_sizes
+    }
+
+
+def find_peak_batch(
+    dep: Deployment,
+    input_tokens: int,
+    output_tokens: int,
+    max_batch: int = 1024,
+) -> PeakBatchResult:
+    """Throughput-maximizing batch size via a bounded probe ladder.
+
+    Probes powers of two up to ``max_batch`` (stopping after two
+    consecutive non-improvements), then refines with eight evenly spaced
+    probes between ``best/2`` and ``best*2``.  Bounded and deterministic;
+    handles both the saturating Nvidia curve and MI250's
+    rise-then-decline shape.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    estimator = InferenceEstimator(dep)
+    evaluated: dict[int, float] = {}
+
+    def tput(bs: int) -> float:
+        if bs not in evaluated:
+            evaluated[bs] = estimator.throughput(
+                GenerationConfig(input_tokens, output_tokens, bs)
+            )
+        return evaluated[bs]
+
+    # Doubling ladder.
+    best = 1
+    misses = 0
+    bs = 1
+    while bs <= max_batch and misses < 2:
+        if tput(bs) > tput(best):
+            best = bs
+            misses = 0
+        else:
+            misses += 1 if bs > 1 else 0
+        bs *= 2
+    # Refinement: eight evenly spaced probes around the ladder's best.
+    lo = max(1, best // 2)
+    hi = min(max_batch, best * 2)
+    for i in range(1, 9):
+        probe = lo + (hi - lo) * i // 9
+        if probe >= 1:
+            tput(probe)
+
+    peak = max(evaluated, key=evaluated.get)  # type: ignore[arg-type]
+    metrics = estimator.estimate(
+        GenerationConfig(input_tokens, output_tokens, peak)
+    )
+    capacity = estimator.capacity(
+        GenerationConfig(input_tokens, output_tokens, peak)
+    )
+    return PeakBatchResult(
+        batch_size=peak,
+        throughput_tokens_per_s=evaluated[peak],
+        itl_s=metrics.itl_s,
+        memory_limited=peak >= capacity.max_concurrency,
+        evaluated=tuple(sorted(evaluated)),
+    )

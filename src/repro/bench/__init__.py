@@ -1,0 +1,43 @@
+"""Benchmark harness: runner, experiment registry, per-figure reproductions."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run_experiment,
+)
+from repro.bench.export import export_bundle, export_csv
+from repro.bench.runner import BenchmarkRunner, default_plan
+from repro.bench.validation import cross_validate
+from repro.bench.report import experiments_markdown, render_results, run_all
+
+# Importing the figure modules populates the experiment registry.
+from repro.bench import (  # noqa: E402,F401  (registration side effects)
+    figures_extensions,
+    figures_frameworks,
+    figures_hardware,
+    figures_prelim,
+    figures_quality,
+    tables,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "run_experiment",
+    "BenchmarkRunner",
+    "default_plan",
+    "export_bundle",
+    "export_csv",
+    "cross_validate",
+    "experiments_markdown",
+    "render_results",
+    "run_all",
+]

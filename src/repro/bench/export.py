@@ -1,0 +1,70 @@
+"""Artifact export: per-experiment CSV series and a JSON bundle.
+
+The paper's repository ships raw result files alongside the dashboard;
+this module does the same for the reproduction: one CSV per experiment
+(the exact rows the figure plots) plus an ``index.json`` manifest.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+
+__all__ = ["export_csv", "export_bundle"]
+
+
+def export_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment's sweep table as CSV."""
+    out = Path(path)
+    rows = result.table.to_dicts()
+    if not rows:
+        raise ValueError(f"{result.experiment_id} has no rows to export")
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with out.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return out
+
+
+def export_bundle(
+    results: list[ExperimentResult], directory: str | Path
+) -> Path:
+    """Write every experiment's CSV plus an index manifest.
+
+    The manifest records, per experiment: the paper section, the CSV
+    filename, and every headline claim with its paper value — enough to
+    rebuild EXPERIMENTS.md or feed a plotting pipeline.
+    """
+    if not results:
+        raise ValueError("no results to export")
+    outdir = Path(directory)
+    outdir.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, dict] = {}
+    for result in results:
+        filename = f"{result.experiment_id}.csv"
+        export_csv(result, outdir / filename)
+        exp = EXPERIMENTS.get(result.experiment_id)
+        manifest[result.experiment_id] = {
+            "title": result.title,
+            "section": exp.section if exp else "",
+            "csv": filename,
+            "claims": [
+                {
+                    "name": name,
+                    "measured": measured,
+                    "paper": result.paper.get(name),
+                }
+                for name, measured in result.measured.items()
+            ],
+        }
+    index = outdir / "index.json"
+    index.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return index

@@ -1,0 +1,576 @@
+"""Reproductions of the framework-wise benchmarking artifacts.
+
+Figures 6-15 (Section V) and the appendix scaling studies 30-37.
+"""
+
+from __future__ import annotations
+
+from repro.bench._helpers import sweep_batches
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.bench.runner import BenchmarkRunner
+from repro.core.results import ResultTable
+from repro.perf.parallelism import ParallelismPlan
+
+__all__: list[str] = []
+
+_BS = (1, 16, 32, 64)
+_7B = ("LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B")
+
+
+@register_experiment(
+    "fig6",
+    "TRT-LLM: 7B models on GH200/H100/A100",
+    "Fig. 6 / Section V-1",
+    tags=("frameworks", "trtllm"),
+)
+def fig6(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig6")
+    for hw in ("GH200", "H100", "A100"):
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, hw, "TRT-LLM",
+                batch_sizes=_BS, lengths=(1024,),
+            )
+    result = ExperimentResult("fig6", "TRT-LLM 7B throughput", table)
+    for hw, paper in (("H100", 1.9), ("A100", 2.79)):
+        gqa = table.single(
+            "throughput_tokens_per_s", model="Mistral-7B", hardware=hw, batch_size=64
+        )
+        mhsa = table.single(
+            "throughput_tokens_per_s", model="LLaMA-2-7B", hardware=hw, batch_size=64
+        )
+        result.claim(f"gqa_over_mhsa_bs64_{hw.lower()}", gqa / mhsa, paper=paper)
+    # Newer generations win at every batch size.
+    gh200 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", hardware="GH200", batch_size=64
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", hardware="A100", batch_size=64
+    )
+    result.claim("gh200_over_a100_bs64", gh200 / a100)
+    return result
+
+
+@register_experiment(
+    "fig7",
+    "TRT-LLM: 70B and MoE models on H100/A100",
+    "Fig. 7 / Section V-1",
+    tags=("frameworks", "trtllm"),
+)
+def fig7(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig7")
+    plan = ParallelismPlan(tp=4)
+    for hw in ("H100", "A100"):
+        for model in ("LLaMA-2-70B", "LLaMA-3-70B", "Mixtral-8x7B"):
+            sweep_batches(
+                runner, table, model, hw, "TRT-LLM",
+                batch_sizes=_BS, lengths=(1024,), plan=plan,
+            )
+    result = ExperimentResult("fig7", "TRT-LLM 70B/MoE throughput", table)
+    h100 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-70B", hardware="H100", batch_size=64
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-70B", hardware="A100", batch_size=64
+    )
+    result.claim("llama3_70b_h100_over_a100_bs64", h100 / a100, paper=7.8)
+    h100_1 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-70B", hardware="H100", batch_size=1
+    )
+    a100_1 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-70B", hardware="A100", batch_size=1
+    )
+    result.claim("h100_batch_scaling_1_to_64", h100 / h100_1, paper=39.0)
+    result.claim("a100_batch_scaling_1_to_64", a100 / a100_1, paper=3.0)
+    mixtral = table.single(
+        "throughput_tokens_per_s", model="Mixtral-8x7B", hardware="H100", batch_size=64
+    )
+    l2_70b = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-70B", hardware="H100", batch_size=64
+    )
+    result.claim("mixtral_over_llama2_70b_h100", mixtral / l2_70b)
+    result.claim(
+        "llama2_70b_over_llama3_70b_h100",
+        l2_70b
+        / table.single(
+            "throughput_tokens_per_s",
+            model="LLaMA-3-70B",
+            hardware="H100",
+            batch_size=64,
+        ),
+    )
+    return result
+
+
+@register_experiment(
+    "fig8",
+    "vLLM: 7B models across GH200/H100/A100/MI250",
+    "Fig. 8 / Section V-2",
+    tags=("frameworks", "vllm"),
+)
+def fig8(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig8")
+    models = _7B + ("Qwen2-7B",)
+    for hw in ("GH200", "H100", "A100", "MI250"):
+        for model in models:
+            sweep_batches(
+                runner, table, model, hw, "vLLM", batch_sizes=_BS, lengths=(1024,)
+            )
+    result = ExperimentResult("fig8", "vLLM 7B throughput across hardware", table)
+    by_hw = {
+        hw: table.single(
+            "throughput_tokens_per_s", model="LLaMA-3-8B", hardware=hw, batch_size=64
+        )
+        for hw in ("GH200", "H100", "A100", "MI250")
+    }
+    result.claim("gh200_over_h100", by_hw["GH200"] / by_hw["H100"], paper=1.2)
+    result.claim("a100_over_mi250", by_hw["A100"] / by_hw["MI250"], paper=1.1)
+    qwen_gh200 = table.single(
+        "throughput_tokens_per_s", model="Qwen2-7B", hardware="GH200", batch_size=64
+    )
+    result.claim(
+        "qwen2_best_7b_on_gh200",
+        qwen_gh200
+        / max(
+            table.single(
+                "throughput_tokens_per_s", model=m, hardware="GH200", batch_size=64
+            )
+            for m in _7B
+        ),
+    )
+    l3 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", hardware="H100", batch_size=64
+    )
+    l2 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", hardware="H100", batch_size=64
+    )
+    result.claim("llama3_over_llama2_large_batch", l3 / l2)
+    return result
+
+
+@register_experiment(
+    "fig9",
+    "vLLM: 70B models on H100/A100 (4-way TP)",
+    "Fig. 9 / Section V-2",
+    tags=("frameworks", "vllm"),
+)
+def fig9(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig9")
+    plan = ParallelismPlan(tp=4)
+    for hw in ("H100", "A100"):
+        for model in ("LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B", "Mixtral-8x7B"):
+            sweep_batches(
+                runner, table, model, hw, "vLLM",
+                batch_sizes=_BS, lengths=(1024,), plan=plan,
+            )
+    result = ExperimentResult("fig9", "vLLM 70B throughput", table)
+    l2 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-70B", hardware="H100", batch_size=64
+    )
+    l3 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-70B", hardware="H100", batch_size=64
+    )
+    qwen = table.single(
+        "throughput_tokens_per_s", model="Qwen2-72B", hardware="H100", batch_size=64
+    )
+    mixtral = table.single(
+        "throughput_tokens_per_s", model="Mixtral-8x7B", hardware="H100", batch_size=64
+    )
+    result.claim("llama2_over_llama3_70b", l2 / l3)
+    result.claim("llama2_over_qwen72b", l2 / qwen)
+    result.claim("mixtral_over_llama2_70b", mixtral / l2)
+    return result
+
+
+@register_experiment(
+    "fig11",
+    "DeepSpeed-MII: 7B models on A100 (GQA-oblivious ordering)",
+    "Fig. 11 / Section V-3",
+    tags=("frameworks", "dsmii"),
+)
+def fig11(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig11")
+    for devices in (1, 2, 4):
+        plan = ParallelismPlan(tp=devices)
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, "A100", "DeepSpeed-MII",
+                batch_sizes=_BS, lengths=(128,), plan=plan,
+            )
+    result = ExperimentResult("fig11", "DS-MII 7B ordering", table)
+    l2 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", devices=1, batch_size=64
+    )
+    l3 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", devices=1, batch_size=64
+    )
+    result.claim("llama2_over_llama3_bs64_len128", l2 / l3, paper=1.18)
+    # Scaling across 1 -> 4 devices at large batch.
+    one = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", devices=1, batch_size=64
+    )
+    four = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", devices=4, batch_size=64
+    )
+    result.claim("llama2_scaling_1_to_4_gpus", four / one)
+    return result
+
+
+@register_experiment(
+    "fig12",
+    "Mixtral-8x7B: DS-MII vs vLLM on A100",
+    "Fig. 12 / Section V-3",
+    tags=("frameworks", "dsmii"),
+)
+def fig12(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig12")
+    plan = ParallelismPlan(tp=4)
+    for fw in ("DeepSpeed-MII", "vLLM"):
+        for length in (512, 1024, 2048):
+            sweep_batches(
+                runner, table, "Mixtral-8x7B", "A100", fw,
+                batch_sizes=_BS, lengths=(length,), plan=plan,
+            )
+    result = ExperimentResult("fig12", "DS-MII vs vLLM on Mixtral", table)
+    ds = table.single(
+        "throughput_tokens_per_s",
+        framework="DeepSpeed-MII",
+        batch_size=64,
+        input_tokens=2048,
+    )
+    vllm = table.single(
+        "throughput_tokens_per_s",
+        framework="vLLM",
+        batch_size=64,
+        input_tokens=2048,
+    )
+    result.claim("dsmii_over_vllm_bs64_len2048", ds / vllm, paper=1.04)
+    ds_small = table.single(
+        "throughput_tokens_per_s",
+        framework="DeepSpeed-MII",
+        batch_size=1,
+        input_tokens=512,
+    )
+    vllm_small = table.single(
+        "throughput_tokens_per_s",
+        framework="vLLM",
+        batch_size=1,
+        input_tokens=512,
+    )
+    result.claim("dsmii_over_vllm_bs1_len512", ds_small / vllm_small)
+    return result
+
+
+@register_experiment(
+    "fig13",
+    "llama.cpp: 7B models across platforms and GPU counts",
+    "Fig. 13 / Section V-4",
+    tags=("frameworks", "llamacpp"),
+)
+def fig13(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig13")
+    for hw in ("A100", "H100", "MI250"):
+        for devices in (1, 2, 4):
+            plan = ParallelismPlan(tp=devices)
+            sweep_batches(
+                runner, table, "LLaMA-2-7B", hw, "llama.cpp",
+                batch_sizes=(1, 16), lengths=(512,), plan=plan,
+            )
+    result = ExperimentResult("fig13", "llama.cpp device scaling", table)
+    one = table.single(
+        "throughput_tokens_per_s", hardware="A100", devices=1, batch_size=16
+    )
+    four = table.single(
+        "throughput_tokens_per_s", hardware="A100", devices=4, batch_size=16
+    )
+    result.claim("a100_scaling_1_to_4_gpus", four / one, paper=1.3)
+    return result
+
+
+@register_experiment(
+    "fig14",
+    "llama.cpp: MHSA beats GQA (weak GQA support)",
+    "Fig. 14 / Section V-4",
+    tags=("frameworks", "llamacpp"),
+)
+def fig14(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig14")
+    for model in _7B:
+        for devices in (1, 2, 4):
+            plan = ParallelismPlan(tp=devices)
+            sweep_batches(
+                runner, table, model, "A100", "llama.cpp",
+                batch_sizes=(1, 16, 32), lengths=(512,), plan=plan,
+            )
+    result = ExperimentResult("fig14", "llama.cpp GQA-oblivious ordering", table)
+    l2 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", devices=1, batch_size=32
+    )
+    l3 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", devices=1, batch_size=32
+    )
+    mistral = table.single(
+        "throughput_tokens_per_s", model="Mistral-7B", devices=1, batch_size=32
+    )
+    result.claim("llama2_over_llama3", l2 / l3, paper=1.2)
+    result.claim("mistral_over_llama3", mistral / l3, paper=1.1)
+    return result
+
+
+@register_experiment(
+    "fig15",
+    "Framework shoot-out: 7B models on A100",
+    "Fig. 15 / Section VI-1",
+    tags=("frameworks", "hardware"),
+)
+def fig15(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig15")
+    for fw in ("TRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp"):
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, "A100", fw,
+                batch_sizes=(1, 16, 64), lengths=(1024,),
+            )
+    result = ExperimentResult("fig15", "Framework ordering on A100", table)
+    by_fw = {
+        fw: table.single(
+            "throughput_tokens_per_s",
+            model="Mistral-7B",
+            framework=fw,
+            batch_size=64,
+        )
+        for fw in ("TRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp")
+    }
+    result.claim("trtllm_over_vllm", by_fw["TRT-LLM"] / by_fw["vLLM"], paper=1.2)
+    result.claim("vllm_over_dsmii", by_fw["vLLM"] / by_fw["DeepSpeed-MII"])
+    result.claim(
+        "dsmii_over_llamacpp", by_fw["DeepSpeed-MII"] / by_fw["llama.cpp"]
+    )
+    mistral = table.single(
+        "throughput_tokens_per_s",
+        model="Mistral-7B",
+        framework="TRT-LLM",
+        batch_size=64,
+    )
+    llama3 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        framework="TRT-LLM",
+        batch_size=64,
+    )
+    result.claim("mistral_over_llama3_vocab_effect", mistral / llama3)
+    return result
+
+
+@register_experiment(
+    "fig30",
+    "TRT-LLM: 7B models on 1/2/4 A100s",
+    "Fig. 30 / Appendix E-A",
+    tags=("frameworks", "scaling"),
+)
+def fig30(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig30")
+    for devices in (1, 2, 4):
+        plan = ParallelismPlan(tp=devices)
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, "A100", "TRT-LLM",
+                batch_sizes=_BS, lengths=(1024,), plan=plan,
+            )
+    result = ExperimentResult("fig30", "TRT-LLM multi-GPU scaling", table)
+    one = table.single(
+        "throughput_tokens_per_s", model="Mistral-7B", devices=1, batch_size=64
+    )
+    four = table.single(
+        "throughput_tokens_per_s", model="Mistral-7B", devices=4, batch_size=64
+    )
+    result.claim("mistral_scaling_1_to_4", four / one, paper=2.5)
+    mistral = table.single(
+        "throughput_tokens_per_s", model="Mistral-7B", devices=4, batch_size=64
+    )
+    llama3 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", devices=4, batch_size=64
+    )
+    result.claim("mistral_over_llama3_4gpu", mistral / llama3)
+    return result
+
+
+@register_experiment(
+    "fig31",
+    "vLLM: 7B models on 1/2/4 H100/A100/MI250",
+    "Fig. 31 / Appendix E-B",
+    tags=("frameworks", "scaling"),
+)
+def fig31(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig31")
+    for hw in ("H100", "A100", "MI250"):
+        for devices in (1, 2, 4):
+            plan = ParallelismPlan(tp=devices)
+            for model in ("Mistral-7B", "LLaMA-3-8B"):
+                sweep_batches(
+                    runner, table, model, hw, "vLLM",
+                    batch_sizes=(16, 64), lengths=(1024,), plan=plan,
+                )
+    result = ExperimentResult("fig31", "vLLM multi-GPU scaling", table)
+    h100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="H100",
+        devices=4,
+        batch_size=64,
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="A100",
+        devices=4,
+        batch_size=64,
+    )
+    result.claim("h100_over_a100_4gpu", h100 / a100)
+    return result
+
+
+@register_experiment(
+    "fig32",
+    "llama.cpp: 70B models on H100/MI250 (A100 OOM-excluded)",
+    "Fig. 32 / Appendix E-C",
+    tags=("frameworks", "llamacpp"),
+)
+def fig32(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig32")
+    plan = ParallelismPlan(tp=4)
+    for hw in ("H100", "MI250", "A100"):
+        for model in ("LLaMA-2-70B", "LLaMA-3-70B", "Mixtral-8x7B"):
+            sweep_batches(
+                runner, table, model, hw, "llama.cpp",
+                batch_sizes=(1, 16), lengths=(512,), plan=plan,
+            )
+    result = ExperimentResult("fig32", "llama.cpp 70B models", table)
+    # The paper excludes A100: 70B fp16 exceeds the 4x40 GB node.
+    a100_oom = table.single(
+        "oom", model="LLaMA-2-70B", hardware="A100", batch_size=16
+    )
+    result.claim("llama2_70b_a100_oom", a100_oom, paper=1.0)
+    h100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        hardware="H100",
+        batch_size=16,
+    )
+    mi250 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        hardware="MI250",
+        batch_size=16,
+    )
+    result.claim("h100_over_mi250", h100 / mi250)
+    mixtral = table.single(
+        "throughput_tokens_per_s",
+        model="Mixtral-8x7B",
+        hardware="H100",
+        batch_size=16,
+    )
+    result.claim("mixtral_over_llama2_70b", mixtral / h100)
+    return result
+
+
+@register_experiment(
+    "fig33",
+    "Framework comparison: 7B models on H100 at length 1024",
+    "Fig. 33 / Appendix E-D",
+    tags=("frameworks",),
+)
+def fig33(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig33")
+    models = _7B + ("Qwen2-7B",)
+    for fw in ("TRT-LLM", "vLLM", "llama.cpp"):
+        for model in models:
+            sweep_batches(
+                runner, table, model, "H100", fw,
+                batch_sizes=(16, 64), lengths=(1024,),
+            )
+    result = ExperimentResult("fig33", "H100 framework comparison", table)
+    qwen_trt = table.single(
+        "throughput_tokens_per_s",
+        model="Qwen2-7B",
+        framework="TRT-LLM",
+        batch_size=64,
+    )
+    best_other = max(
+        table.single(
+            "throughput_tokens_per_s", model=m, framework=fw, batch_size=64
+        )
+        for m in models
+        for fw in ("vLLM", "llama.cpp")
+    )
+    result.claim("qwen2_trtllm_is_best", qwen_trt / best_other)
+    return result
+
+
+@register_experiment(
+    "fig34",
+    "70B models: TRT-LLM and vLLM on A100/H100",
+    "Fig. 34 / Appendix E-D",
+    tags=("frameworks",),
+)
+def fig34(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig34")
+    plan = ParallelismPlan(tp=4)
+    for fw in ("TRT-LLM", "vLLM"):
+        for hw in ("A100", "H100"):
+            for model in ("LLaMA-2-70B", "LLaMA-3-70B", "Mixtral-8x7B"):
+                sweep_batches(
+                    runner, table, model, hw, fw,
+                    batch_sizes=(16, 64), lengths=(1024,), plan=plan,
+                )
+    result = ExperimentResult("fig34", "70B cross-framework", table)
+    mixtral = table.single(
+        "throughput_tokens_per_s",
+        model="Mixtral-8x7B",
+        framework="TRT-LLM",
+        hardware="H100",
+        batch_size=64,
+    )
+    l2 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        framework="TRT-LLM",
+        hardware="H100",
+        batch_size=64,
+    )
+    l3 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-70B",
+        framework="TRT-LLM",
+        hardware="H100",
+        batch_size=64,
+    )
+    result.claim("mixtral_margin_over_70b", mixtral / l2)
+    result.claim("llama2_slightly_over_llama3", l2 / l3)
+    return result
+
+
+@register_experiment(
+    "fig37",
+    "MI250: 70B/MoE models on 4 GPUs with vLLM",
+    "Fig. 37 / Appendix E-E",
+    tags=("frameworks", "mi250"),
+)
+def fig37(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig37")
+    plan = ParallelismPlan(tp=4)
+    for model in ("LLaMA-2-70B", "LLaMA-3-70B", "Mixtral-8x7B", "Qwen2-72B"):
+        sweep_batches(
+            runner, table, model, "MI250", "vLLM",
+            batch_sizes=(1, 16, 32), lengths=(1024,), plan=plan,
+        )
+    result = ExperimentResult("fig37", "MI250 70B models", table)
+    mixtral = table.single(
+        "throughput_tokens_per_s", model="Mixtral-8x7B", batch_size=32
+    )
+    best_dense = max(
+        table.single("throughput_tokens_per_s", model=m, batch_size=32)
+        for m in ("LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B")
+    )
+    result.claim("mixtral_over_best_dense_70b", mixtral / best_dense)
+    return result

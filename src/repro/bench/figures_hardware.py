@@ -1,0 +1,487 @@
+"""Reproductions of the hardware-wise benchmarking artifacts.
+
+Figures 16-25 (Sections VI/VII) plus the appendix MI250 and Gaudi2 studies
+(Figs. 35, 36, 38).
+"""
+
+from __future__ import annotations
+
+from repro.bench._helpers import GenerationConfig, sweep_batches
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.bench.runner import BenchmarkRunner
+from repro.core.results import ResultTable
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.parallelism import ParallelismPlan
+
+__all__: list[str] = []
+
+_7B = ("LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B")
+
+# The paper's cross-hardware comparisons deploy the SN40L as 8 RDUs
+# (TP = 8, its fixed configuration) against 4-GPU (or single-GPU) nodes.
+_SN40L_PLAN = ParallelismPlan(tp=8)
+
+
+@register_experiment(
+    "fig16",
+    "Power and throughput-per-watt (A100/H100/GH200, vLLM/TRT-LLM)",
+    "Fig. 16 / Section VI-1",
+    tags=("hardware", "power"),
+)
+def fig16(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig16")
+    for hw in ("A100", "H100", "GH200"):
+        for fw in ("vLLM", "TRT-LLM"):
+            for model in ("LLaMA-2-7B", "LLaMA-3-8B"):
+                sweep_batches(
+                    runner, table, model, hw, fw,
+                    batch_sizes=(16,), lengths=(1024,),
+                )
+    result = ExperimentResult("fig16", "Power and efficiency", table)
+    trt_power = table.single(
+        "power_w", hardware="A100", framework="TRT-LLM", model="LLaMA-3-8B"
+    )
+    vllm_power = table.single(
+        "power_w", hardware="A100", framework="vLLM", model="LLaMA-3-8B"
+    )
+    result.claim("trtllm_power_over_vllm_a100", trt_power / vllm_power, paper=1.1)
+    trt_eff = table.single(
+        "tokens_per_s_per_w", hardware="A100", framework="TRT-LLM", model="LLaMA-3-8B"
+    )
+    vllm_eff = table.single(
+        "tokens_per_s_per_w", hardware="A100", framework="vLLM", model="LLaMA-3-8B"
+    )
+    result.claim("trtllm_perf_per_watt_over_vllm", trt_eff / vllm_eff, paper=1.1)
+    l3_eff = table.single(
+        "tokens_per_s_per_w", hardware="H100", framework="TRT-LLM", model="LLaMA-3-8B"
+    )
+    l2_eff = table.single(
+        "tokens_per_s_per_w", hardware="H100", framework="TRT-LLM", model="LLaMA-2-7B"
+    )
+    result.claim("llama3_perf_per_watt_over_llama2", l3_eff / l2_eff)
+    gh200_power = table.single(
+        "power_w", hardware="GH200", framework="TRT-LLM", model="LLaMA-2-7B"
+    )
+    a100_power = table.single(
+        "power_w", hardware="A100", framework="TRT-LLM", model="LLaMA-2-7B"
+    )
+    result.claim("gh200_power_over_a100", gh200_power / a100_power)
+    return result
+
+
+@register_experiment(
+    "fig17",
+    "MI250 early saturation (LLaMA-3-8B, vLLM)",
+    "Fig. 17 / Section VI-2",
+    tags=("hardware", "mi250"),
+)
+def fig17(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig17")
+    for length in (128, 512, 1024, 2048):
+        sweep_batches(
+            runner, table, "LLaMA-3-8B", "MI250", "vLLM",
+            batch_sizes=(1, 16, 32, 64), lengths=(length,),
+        )
+    result = ExperimentResult("fig17", "MI250 saturation knee", table)
+    t32 = table.single(
+        "throughput_tokens_per_s", batch_size=32, input_tokens=1024
+    )
+    t64 = table.single(
+        "throughput_tokens_per_s", batch_size=64, input_tokens=1024
+    )
+    # The paper observes a *decline* past batch 32 at longer lengths.
+    result.claim("bs64_over_bs32_at_1024", t64 / t32, paper=0.95)
+    return result
+
+
+@register_experiment(
+    "fig18",
+    "SN40L (8 RDUs) vs 4xH100 / 4xA100: 7B models",
+    "Fig. 18 / Section VI-3",
+    tags=("hardware", "sn40l"),
+)
+def fig18(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig18")
+    gpu_plan = ParallelismPlan(tp=4)
+    for length in (128, 256, 512, 1024, 2048):
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, "SN40L", "SambaFlow",
+                batch_sizes=(1, 16), lengths=(length,), plan=_SN40L_PLAN,
+            )
+            for hw in ("H100", "A100"):
+                sweep_batches(
+                    runner, table, model, hw, "vLLM",
+                    batch_sizes=(1, 16), lengths=(length,), plan=gpu_plan,
+                )
+    result = ExperimentResult("fig18", "SN40L vs GPUs, 7B", table)
+    sn = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="SN40L",
+        batch_size=16,
+        input_tokens=512,
+    )
+    h100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="H100",
+        batch_size=16,
+        input_tokens=512,
+    )
+    result.claim("sn40l_over_4xh100_bs16_len512", sn / h100, paper=1.2)
+    # "Throughput increases with increasing input/output length (till 512)".
+    sn128 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="SN40L",
+        batch_size=16,
+        input_tokens=128,
+    )
+    result.claim("sn40l_len512_over_len128", sn / sn128, paper=1.5)
+    gqa = table.single(
+        "throughput_tokens_per_s",
+        model="Mistral-7B",
+        hardware="SN40L",
+        batch_size=16,
+        input_tokens=512,
+    )
+    mhsa = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-7B",
+        hardware="SN40L",
+        batch_size=16,
+        input_tokens=512,
+    )
+    result.claim("sn40l_gqa_over_mhsa", gqa / mhsa)
+    return result
+
+
+@register_experiment(
+    "fig19",
+    "SN40L (8 RDUs) vs 4xH100 / 4xA100: 70B model",
+    "Fig. 19 / Section VI-3",
+    tags=("hardware", "sn40l"),
+)
+def fig19(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig19")
+    gpu_plan = ParallelismPlan(tp=4)
+    for length in (128, 512, 1024):
+        sweep_batches(
+            runner, table, "LLaMA-2-70B", "SN40L", "SambaFlow",
+            batch_sizes=(1, 16), lengths=(length,), plan=_SN40L_PLAN,
+        )
+        for hw in ("H100", "A100"):
+            sweep_batches(
+                runner, table, "LLaMA-2-70B", hw, "vLLM",
+                batch_sizes=(1, 16), lengths=(length,), plan=gpu_plan,
+            )
+    result = ExperimentResult("fig19", "SN40L vs GPUs, 70B", table)
+    sn = table.single(
+        "throughput_tokens_per_s",
+        hardware="SN40L",
+        batch_size=16,
+        input_tokens=512,
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s",
+        hardware="A100",
+        batch_size=16,
+        input_tokens=512,
+    )
+    result.claim("sn40l_over_4xa100_70b", sn / a100, paper=2.0)
+    return result
+
+
+@register_experiment(
+    "fig20",
+    "Gaudi2 vs H100 vs A100: 7B models",
+    "Fig. 20 / Section VI-4",
+    tags=("hardware", "gaudi2"),
+)
+def fig20(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig20")
+    for hw, fw in (("Gaudi2", "vLLM"), ("H100", "vLLM"), ("A100", "vLLM")):
+        for model in _7B:
+            sweep_batches(
+                runner, table, model, hw, fw,
+                batch_sizes=(1, 16, 32, 64), lengths=(1024,),
+            )
+    result = ExperimentResult("fig20", "Gaudi2 position among GPUs, 7B", table)
+    gaudi = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-3-8B",
+        hardware="Gaudi2",
+        batch_size=16,
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", hardware="A100", batch_size=16
+    )
+    h100 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", hardware="H100", batch_size=16
+    )
+    result.claim("gaudi2_over_a100_bs16", gaudi / a100, paper=1.2)
+    result.claim("h100_over_gaudi2_bs16", h100 / gaudi, paper=1.3)
+    # "memory issues quicker than other accelerators": OOM at large batch.
+    oom64 = table.single(
+        "oom", model="LLaMA-2-7B", hardware="Gaudi2", batch_size=64
+    )
+    result.claim("gaudi2_oom_at_bs64", oom64, paper=1.0)
+    return result
+
+
+@register_experiment(
+    "fig38",
+    "Gaudi2 vs H100 vs A100: 70B models",
+    "Fig. 38 / Appendix E-F",
+    tags=("hardware", "gaudi2"),
+)
+def fig38(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig38")
+    gaudi_plan = ParallelismPlan(tp=8)
+    gpu_plan = ParallelismPlan(tp=4)
+    for model in ("LLaMA-2-70B", "LLaMA-3-70B"):
+        sweep_batches(
+            runner, table, model, "Gaudi2", "vLLM",
+            batch_sizes=(1, 16), lengths=(1024,), plan=gaudi_plan,
+        )
+        for hw in ("H100", "A100"):
+            sweep_batches(
+                runner, table, model, hw, "vLLM",
+                batch_sizes=(1, 16), lengths=(1024,), plan=gpu_plan,
+            )
+    result = ExperimentResult("fig38", "Gaudi2 position among GPUs, 70B", table)
+    gaudi = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        hardware="Gaudi2",
+        batch_size=16,
+    )
+    a100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        hardware="A100",
+        batch_size=16,
+    )
+    h100 = table.single(
+        "throughput_tokens_per_s",
+        model="LLaMA-2-70B",
+        hardware="H100",
+        batch_size=16,
+    )
+    result.claim("gaudi2_over_a100_70b", gaudi / a100, paper=1.3)
+    result.claim("h100_over_gaudi2_70b", h100 / gaudi, paper=1.5)
+    return result
+
+
+def _hardware_panel(runner: BenchmarkRunner) -> list[tuple[str, str, ParallelismPlan]]:
+    """The Fig. 21-25 hardware panel: platform, framework, plan."""
+    return [
+        ("A100", "vLLM", ParallelismPlan(tp=4)),
+        ("H100", "vLLM", ParallelismPlan(tp=4)),
+        ("MI250", "vLLM", ParallelismPlan(tp=4)),
+        ("Gaudi2", "vLLM", ParallelismPlan(tp=8)),
+        ("SN40L", "SambaFlow", _SN40L_PLAN),
+    ]
+
+
+@register_experiment(
+    "fig21",
+    "Time to First Token across hardware",
+    "Fig. 21 / Section VII-2",
+    tags=("hardware", "latency"),
+)
+def fig21(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig21")
+    for hw, fw, plan in _hardware_panel(runner):
+        for model in _7B:
+            dep = runner.deployment(model, hw, fw, plan=plan)
+            # Paper method: TTFT measured with max output of one token.
+            ttft = InferenceEstimator(dep).estimate_ttft(
+                GenerationConfig(1024, 1, 1)
+            )
+            table.add(
+                {"model": model, "hardware": hw, "framework": fw},
+                {"ttft_s": ttft},
+            )
+    result = ExperimentResult("fig21", "TTFT panel", table)
+    sn40l = table.single("ttft_s", model="LLaMA-3-8B", hardware="SN40L")
+    gpu_max = max(
+        table.single("ttft_s", model="LLaMA-3-8B", hardware=hw)
+        for hw in ("A100", "H100", "MI250", "Gaudi2")
+    )
+    result.claim("sn40l_ttft_over_worst_gpu", sn40l / gpu_max, paper=2.0)
+    return result
+
+
+@register_experiment(
+    "fig22",
+    "Inter-Token Latency across hardware",
+    "Fig. 22 / Section VII-2",
+    tags=("hardware", "latency"),
+)
+def fig22(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig22")
+    for hw, fw, plan in _hardware_panel(runner):
+        for model in _7B:
+            dep = runner.deployment(model, hw, fw, plan=plan)
+            itl = InferenceEstimator(dep).estimate_itl(GenerationConfig(1024, 1024, 1))
+            table.add(
+                {"model": model, "hardware": hw, "framework": fw},
+                {"itl_s": itl},
+            )
+    result = ExperimentResult("fig22", "ITL panel", table)
+    sn40l = table.single("itl_s", model="LLaMA-3-8B", hardware="SN40L")
+    gpu_min = min(
+        table.single("itl_s", model="LLaMA-3-8B", hardware=hw)
+        for hw in ("A100", "H100", "MI250", "Gaudi2")
+    )
+    result.claim("sn40l_itl_over_best_gpu", sn40l / gpu_min, paper=0.9)
+    return result
+
+
+@register_experiment(
+    "fig23",
+    "Throughput vs batch size across hardware (LLaMA-3-8B)",
+    "Fig. 23 / Section VII-2",
+    tags=("hardware",),
+)
+def fig23(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig23")
+    for hw, fw, plan in _hardware_panel(runner):
+        sweep_batches(
+            runner, table, "LLaMA-3-8B", hw, fw,
+            batch_sizes=(1, 16, 32, 64), lengths=(1024,), plan=plan,
+        )
+    result = ExperimentResult("fig23", "Cross-hardware batch scaling", table)
+    sn32 = table.single(
+        "throughput_tokens_per_s", hardware="SN40L", batch_size=32
+    )
+    others32 = max(
+        table.single("throughput_tokens_per_s", hardware=hw, batch_size=32)
+        for hw in ("A100", "H100", "MI250", "Gaudi2")
+    )
+    result.claim("sn40l_best_up_to_bs32", sn32 / others32, paper=1.1)
+    return result
+
+
+@register_experiment(
+    "fig24",
+    "Throughput vs input/output length across hardware (LLaMA-3-8B)",
+    "Fig. 24 / Section VII-2",
+    tags=("hardware",),
+)
+def fig24(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig24")
+    for hw, fw, plan in _hardware_panel(runner):
+        for length in (128, 512, 1024, 2048):
+            sweep_batches(
+                runner, table, "LLaMA-3-8B", hw, fw,
+                batch_sizes=(16,), lengths=(length,), plan=plan,
+            )
+    result = ExperimentResult("fig24", "Cross-hardware length scaling", table)
+    # GPUs: throughput decreases with length; SN40L: rises until 512.
+    for hw in ("A100", "H100"):
+        short = table.single(
+            "throughput_tokens_per_s", hardware=hw, input_tokens=128
+        )
+        long = table.single(
+            "throughput_tokens_per_s", hardware=hw, input_tokens=2048
+        )
+        result.claim(f"{hw.lower()}_len128_over_len2048", short / long)
+    sn512 = table.single(
+        "throughput_tokens_per_s", hardware="SN40L", input_tokens=512
+    )
+    sn128 = table.single(
+        "throughput_tokens_per_s", hardware="SN40L", input_tokens=128
+    )
+    result.claim("sn40l_len512_over_len128", sn512 / sn128, paper=1.5)
+    return result
+
+
+@register_experiment(
+    "fig25",
+    "Peak throughput per hardware platform (7B models)",
+    "Fig. 25 / Section VII-2",
+    tags=("hardware",),
+)
+def fig25(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig25")
+    for hw, fw, plan in _hardware_panel(runner):
+        for model in _7B:
+            best = 0.0
+            best_bs = 0
+            dep = runner.deployment(model, hw, fw, plan=plan)
+            for bs in (1, 16, 32, 64):
+                metrics = runner.run_point(dep, GenerationConfig(1024, 1024, bs))
+                if metrics.throughput_tokens_per_s > best:
+                    best = metrics.throughput_tokens_per_s
+                    best_bs = bs
+            table.add(
+                {"model": model, "hardware": hw, "best_batch": best_bs},
+                {"peak_throughput": best},
+            )
+    result = ExperimentResult("fig25", "Peak performance panel", table)
+    h100 = table.single("peak_throughput", model="LLaMA-3-8B", hardware="H100")
+    a100 = table.single("peak_throughput", model="LLaMA-3-8B", hardware="A100")
+    mi250 = table.single("peak_throughput", model="LLaMA-3-8B", hardware="MI250")
+    result.claim("h100_peak_over_a100", h100 / a100, paper=2.5)
+    result.claim("a100_peak_over_mi250", a100 / mi250)
+    return result
+
+
+@register_experiment(
+    "fig35",
+    "MI250 vLLM: 7B models across batch sizes",
+    "Fig. 35 / Appendix E-E",
+    tags=("hardware", "mi250"),
+)
+def fig35(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig35")
+    for model in _7B + ("Qwen2-7B",):
+        sweep_batches(
+            runner, table, model, "MI250", "vLLM",
+            batch_sizes=(1, 16, 32, 64), lengths=(1024,),
+        )
+    result = ExperimentResult("fig35", "MI250 7B batch behaviour", table)
+    qwen32 = table.single(
+        "throughput_tokens_per_s", model="Qwen2-7B", batch_size=32
+    )
+    mistral32 = table.single(
+        "throughput_tokens_per_s", model="Mistral-7B", batch_size=32
+    )
+    result.claim("qwen2_over_mistral_bs32", qwen32 / mistral32, paper=1.1)
+    # GQA models peak at 32 and decline at 64 on MI250.
+    l3_32 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", batch_size=32
+    )
+    l3_64 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-3-8B", batch_size=64
+    )
+    result.claim("llama3_bs64_over_bs32", l3_64 / l3_32, paper=0.95)
+    return result
+
+
+@register_experiment(
+    "fig36",
+    "MI250 llama.cpp: 7B models (MHSA wins)",
+    "Fig. 36 / Appendix E-E",
+    tags=("hardware", "mi250"),
+)
+def fig36(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig36")
+    for model in _7B + ("Qwen2-7B",):
+        sweep_batches(
+            runner, table, model, "MI250", "llama.cpp",
+            batch_sizes=(1, 16, 32), lengths=(1024,),
+        )
+    result = ExperimentResult("fig36", "MI250 llama.cpp ordering", table)
+    l2 = table.single(
+        "throughput_tokens_per_s", model="LLaMA-2-7B", batch_size=32
+    )
+    best_gqa = max(
+        table.single("throughput_tokens_per_s", model=m, batch_size=32)
+        for m in ("LLaMA-3-8B", "Mistral-7B", "Qwen2-7B")
+    )
+    result.claim("llama2_over_best_gqa", l2 / best_gqa, paper=1.1)
+    return result

@@ -1,0 +1,290 @@
+"""Reproductions of the preliminary-study artifacts (paper Section IV).
+
+Figures 1-5: batching and blended tokens, KV caching (plain and blocked),
+quantization, NAS (DeciLM) and speculative decoding, and parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.bench._helpers import GenerationConfig, sweep_batches
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.bench.runner import BenchmarkRunner
+from repro.core.results import ResultTable
+from repro.models.kvcache import KVCacheSpec
+from repro.models.zoo import get_model
+from repro.perf.parallelism import ParallelismPlan
+from repro.perf.quantization import FP8_SCHEME, FP16_SCHEME, INT8_SCHEME
+from repro.perf.speculative import SpeculativeConfig, speculative_speedup
+
+__all__: list[str] = []
+
+
+@register_experiment(
+    "fig1a",
+    "Throughput vs batch size and length (LLaMA-3-8B, vLLM, A100)",
+    "Fig. 1a / Section IV-A1",
+    tags=("prelim", "batching"),
+)
+def fig1a(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig1a")
+    dep = runner.deployment("LLaMA-3-8B", "A100", "vLLM")
+    configs = [
+        GenerationConfig(length, length, bs)
+        for bs in (1, 16, 32, 64)
+        for length in (128, 256, 512, 1024, 2048)
+    ]
+    runner.run_sweep(table, dep, configs)
+    result = ExperimentResult("fig1a", "vLLM batch-size scaling on A100", table)
+    t1 = table.single(
+        "throughput_tokens_per_s", batch_size=1, input_tokens=2048
+    )
+    t64 = table.single(
+        "throughput_tokens_per_s", batch_size=64, input_tokens=2048
+    )
+    result.claim("bs64_over_bs1_at_2048", t64 / t1, paper=26.6)
+    return result
+
+
+@register_experiment(
+    "fig1b",
+    "Blended tokens: input vs output length heatmap (TRT-LLM, A100)",
+    "Fig. 1b / Section IV-A2",
+    tags=("prelim", "batching"),
+)
+def fig1b(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig1b")
+    dep = runner.deployment("LLaMA-3-8B", "A100", "TRT-LLM")
+    lengths = (128, 256, 512, 1024)
+    configs = [GenerationConfig(i, o, 1) for i in lengths for o in lengths]
+    runner.run_sweep(table, dep, configs)
+    result = ExperimentResult("fig1b", "TRT-LLM blended-token heatmap", table)
+    short_out = table.single(
+        "throughput_tokens_per_s", input_tokens=1024, output_tokens=128
+    )
+    long_out = table.single(
+        "throughput_tokens_per_s", input_tokens=128, output_tokens=1024
+    )
+    result.claim("in1024_out128_over_in128_out1024", short_out / long_out, paper=14.6)
+    return result
+
+
+@register_experiment(
+    "fig2a",
+    "KV cache on vs off (70B on Gaudi2, 8 HPUs)",
+    "Fig. 2a / Section IV-B1",
+    tags=("prelim", "kvcache"),
+)
+def fig2a(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig2a")
+    plan = ParallelismPlan(tp=8)
+    for enabled in (True, False):
+        kv = KVCacheSpec(enabled=enabled, paged=False)
+        dep = runner.deployment(
+            "LLaMA-2-70B", "Gaudi2", "vLLM", plan=plan, kv_spec=kv
+        )
+        configs = [GenerationConfig(length, length, 1) for length in (128, 1024)]
+        runner.run_sweep(table, dep, configs, kv_cache="on" if enabled else "off")
+    result = ExperimentResult("fig2a", "KV-cache benefit on Gaudi2", table)
+    for length, paper_ratio in ((128, 2.0), (1024, 7.0)):
+        on = table.single(
+            "throughput_tokens_per_s", kv_cache="on", input_tokens=length
+        )
+        off = table.single(
+            "throughput_tokens_per_s", kv_cache="off", input_tokens=length
+        )
+        result.claim(f"kv_speedup_at_{length}", on / off, paper=paper_ratio)
+    return result
+
+
+@register_experiment(
+    "fig2b",
+    "Blocked KV cache: block-size sweep (LLaMA-3-8B, vLLM, A100)",
+    "Fig. 2b / Section IV-B2",
+    tags=("prelim", "kvcache"),
+)
+def fig2b(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig2b")
+    for block_size in (1, 2, 4, 8, 16, 32, 64, 128):
+        kv = KVCacheSpec(paged=True, block_size=block_size)
+        dep = runner.deployment("LLaMA-3-8B", "A100", "vLLM", kv_spec=kv)
+        configs = [GenerationConfig(1024, 1024, bs) for bs in (16, 64)]
+        runner.run_sweep(table, dep, configs, block_size=block_size)
+    result = ExperimentResult("fig2b", "Paged-KV block-size sensitivity", table)
+    t16 = table.single("throughput_tokens_per_s", block_size=16, batch_size=64)
+    t8 = table.single("throughput_tokens_per_s", block_size=8, batch_size=64)
+    t128 = table.single("throughput_tokens_per_s", block_size=128, batch_size=64)
+    result.claim("block16_over_block8_bs64", t16 / t8, paper=1.27)
+    # ">= 16 produces optimal throughput": 128 should be within a few % of 16.
+    result.claim("block128_over_block16_bs64", t128 / t16, paper=1.0)
+    return result
+
+
+@register_experiment(
+    "fig3",
+    "Quantization: FP16 vs FP8 vs INT8 (LLaMA-3-8B, A100/H100)",
+    "Fig. 3 / Section IV-B3",
+    tags=("prelim", "quantization"),
+)
+def fig3(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig3")
+    combos = [
+        ("A100", "vLLM", FP16_SCHEME),
+        ("A100", "vLLM", INT8_SCHEME),
+        ("A100", "TRT-LLM", FP16_SCHEME),
+        ("A100", "TRT-LLM", INT8_SCHEME),
+        ("H100", "vLLM", FP16_SCHEME),
+        ("H100", "vLLM", FP8_SCHEME),
+        ("H100", "vLLM", INT8_SCHEME),
+        ("H100", "TRT-LLM", FP16_SCHEME),
+        ("H100", "TRT-LLM", FP8_SCHEME),
+        ("H100", "TRT-LLM", INT8_SCHEME),
+    ]
+    for hw, fw, scheme in combos:
+        dep = runner.deployment("LLaMA-3-8B", hw, fw, quant=scheme)
+        configs = [GenerationConfig(1024, 1024, bs) for bs in (1, 16, 64)]
+        runner.run_sweep(table, dep, configs, precision=scheme.label)
+    result = ExperimentResult("fig3", "Quantization benefit", table)
+    h100_fp8 = table.single(
+        "throughput_tokens_per_s",
+        hardware="H100",
+        framework="TRT-LLM",
+        precision="fp8",
+        batch_size=64,
+    )
+    h100_fp16 = table.single(
+        "throughput_tokens_per_s",
+        hardware="H100",
+        framework="TRT-LLM",
+        precision="fp16",
+        batch_size=64,
+    )
+    a100_int8 = table.single(
+        "throughput_tokens_per_s",
+        hardware="A100",
+        framework="TRT-LLM",
+        precision="wint8-kvfp16",
+        batch_size=64,
+    )
+    a100_fp16 = table.single(
+        "throughput_tokens_per_s",
+        hardware="A100",
+        framework="TRT-LLM",
+        precision="fp16",
+        batch_size=64,
+    )
+    result.claim("h100_fp8_over_fp16", h100_fp8 / h100_fp16, paper=1.3)
+    result.claim("a100_int8_over_fp16", a100_int8 / a100_fp16, paper=1.2)
+    return result
+
+
+@register_experiment(
+    "fig4a",
+    "NAS: DeciLM-7B vs LLaMA-3-8B vs Mistral-7B (A100, H100)",
+    "Fig. 4a / Section IV-B4",
+    tags=("prelim", "nas"),
+)
+def fig4a(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig4a")
+    for hw in ("A100", "H100"):
+        for model in ("DeciLM-7B", "LLaMA-3-8B", "Mistral-7B"):
+            sweep_batches(
+                runner, table, model, hw, "vLLM", batch_sizes=(1, 16, 64),
+                lengths=(1024,),
+            )
+    result = ExperimentResult("fig4a", "DeciLM NAS benefit", table)
+    for hw in ("A100", "H100"):
+        deci = table.single(
+            "throughput_tokens_per_s", model="DeciLM-7B", hardware=hw, batch_size=64
+        )
+        llama = table.single(
+            "throughput_tokens_per_s", model="LLaMA-3-8B", hardware=hw, batch_size=64
+        )
+        result.claim(f"deci_over_llama3_{hw.lower()}", deci / llama, paper=1.2)
+    return result
+
+
+@register_experiment(
+    "fig4b",
+    "Speculative decoding: LLaMA-2-7B vs Mixtral-8x7B with 68M draft",
+    "Fig. 4b / Section IV-B5",
+    tags=("prelim", "speculative"),
+)
+def fig4b(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("fig4b")
+    draft = get_model("LLaMA-68M")
+    spec = SpeculativeConfig(draft_model=draft, gamma=4)
+    for model in ("LLaMA-2-7B", "Mixtral-8x7B"):
+        dep = runner.deployment(model, "A100", "vLLM")
+        for length in (128, 256, 512, 1024, 2048):
+            config = GenerationConfig(length, length, 1)
+            speedup = speculative_speedup(dep, spec, config)
+            table.add(
+                {"model": model, "length": length},
+                {"sd_speedup": speedup},
+            )
+    result = ExperimentResult("fig4b", "Speculative-decoding speedup", table)
+    s7b_short = table.single("sd_speedup", model="LLaMA-2-7B", length=128)
+    s7b_long = table.single("sd_speedup", model="LLaMA-2-7B", length=2048)
+    smoe = table.single("sd_speedup", model="Mixtral-8x7B", length=128)
+    result.claim("llama2_speedup_at_128", s7b_short, paper=1.3)
+    result.claim("llama2_speedup_decay", s7b_long / s7b_short, paper=0.7)
+    result.claim("mixtral_speedup_at_128", smoe, paper=0.95)
+    return result
+
+
+def _parallelism_table(
+    runner: BenchmarkRunner, model: str, plans: list[ParallelismPlan]
+) -> ResultTable:
+    table = ResultTable("parallelism")
+    for plan in plans:
+        dep = runner.deployment(model, "A100", "vLLM", plan=plan)
+        configs = [GenerationConfig(1024, 1024, 16)]
+        runner.run_sweep(table, dep, configs, plan=plan.label)
+    return table
+
+
+@register_experiment(
+    "fig5a",
+    "TP vs PP vs hybrid on 4 A100s (LLaMA-3-8B)",
+    "Fig. 5a / Section IV-C",
+    tags=("prelim", "parallelism"),
+)
+def fig5a(runner: BenchmarkRunner) -> ExperimentResult:
+    plans = [
+        ParallelismPlan(tp=1),
+        ParallelismPlan(tp=2),
+        ParallelismPlan(tp=4),
+        ParallelismPlan(pp=4),
+        ParallelismPlan(tp=2, pp=2),
+    ]
+    table = _parallelism_table(runner, "LLaMA-3-8B", plans)
+    result = ExperimentResult("fig5a", "Parallelism comparison (dense)", table)
+    tp4 = table.single("throughput_tokens_per_s", plan="TP4")
+    pp4 = table.single("throughput_tokens_per_s", plan="PP4")
+    hybrid = table.single("throughput_tokens_per_s", plan="TP2+PP2")
+    result.claim("tp_over_hybrid", tp4 / hybrid, paper=1.30)
+    result.claim("tp_over_pp", tp4 / pp4, paper=1.94)
+    return result
+
+
+@register_experiment(
+    "fig5b",
+    "TP vs PP vs EP on 4 A100s (Mixtral-8x7B)",
+    "Fig. 5b / Section IV-C",
+    tags=("prelim", "parallelism"),
+)
+def fig5b(runner: BenchmarkRunner) -> ExperimentResult:
+    plans = [
+        ParallelismPlan(tp=4),
+        ParallelismPlan(pp=4),
+        ParallelismPlan(tp=2, pp=2),
+        ParallelismPlan(tp=4, ep=4),
+    ]
+    table = _parallelism_table(runner, "Mixtral-8x7B", plans)
+    result = ExperimentResult("fig5b", "Parallelism comparison (MoE)", table)
+    tp = table.single("throughput_tokens_per_s", plan="TP4")
+    ep = table.single("throughput_tokens_per_s", plan="TP4+EP4")
+    pp = table.single("throughput_tokens_per_s", plan="PP4")
+    result.claim("tp_over_pp_moe", tp / pp, paper=1.9)
+    result.claim("tp_over_ep_moe", tp / ep, paper=1.2)
+    return result

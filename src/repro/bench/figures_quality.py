@@ -1,0 +1,117 @@
+"""Perplexity-vs-throughput reproductions (Fig. 10 on A100, Fig. 29 on H100).
+
+Perplexity comes from the calibrated quality model evaluated against the
+synthetic LongBench corpus (measured tokenizer-compression correction);
+throughput from the standard deployment on the target GPU.
+"""
+
+from __future__ import annotations
+
+from repro.bench._helpers import GenerationConfig
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.bench.runner import BenchmarkRunner
+from repro.core.results import ResultTable
+from repro.evaluation.datasets import unified_corpus
+from repro.models.quality import estimate_perplexity
+from repro.models.zoo import PERPLEXITY_ZOO, get_model
+
+__all__: list[str] = []
+
+
+def _quality_table(
+    runner: BenchmarkRunner, hardware: str, name: str
+) -> ResultTable:
+    table = ResultTable(name)
+    config = GenerationConfig(1024, 1024, 16)
+    for model_name in PERPLEXITY_ZOO:
+        model = get_model(model_name)
+        ppl = estimate_perplexity(model)
+        dep = runner.deployment(model_name, hardware, "vLLM")
+        tput = runner.run_point(dep, config).throughput_tokens_per_s
+        table.add(
+            {"model": model_name, "hardware": hardware},
+            {"perplexity": ppl, "throughput_tokens_per_s": tput},
+        )
+    return table
+
+
+def _claims(result: ExperimentResult, table: ResultTable) -> None:
+    l2 = table.single("perplexity", model="LLaMA-2-7B")
+    mistral = table.single("perplexity", model="Mistral-7B")
+    l3 = table.single("perplexity", model="LLaMA-3-8B")
+    result.claim("mistral_ppl_minus_llama2", mistral - l2, paper=0.09)
+    result.claim("llama2_ppl_below_llama3", l3 - l2)
+    deci_tput = table.single("throughput_tokens_per_s", model="DeciLM-7B")
+    best_other = max(
+        table.single("throughput_tokens_per_s", model=m)
+        for m in table.unique("model")
+        if m != "DeciLM-7B"
+    )
+    result.claim("decilm_highest_throughput", deci_tput / best_other, paper=1.1)
+    mistral_tput = table.single("throughput_tokens_per_s", model="Mistral-7B")
+    result.claim("mistral_tput_vs_decilm", mistral_tput / deci_tput, paper=0.8)
+    # Legacy models (OPT, GPT-J, Bloom) sit above the LLaMA generation.
+    legacy_min = min(
+        table.single("perplexity", model=m)
+        for m in ("OPT-6.7B", "GPT-J-6B", "Bloom-7.1B")
+    )
+    result.claim("legacy_ppl_above_llama2", legacy_min / l2)
+
+
+@register_experiment(
+    "fig10",
+    "Perplexity vs throughput: ~7B zoo on A100 (LongBench)",
+    "Fig. 10 / Section V-2",
+    tags=("quality",),
+)
+def fig10(runner: BenchmarkRunner) -> ExperimentResult:
+    table = _quality_table(runner, "A100", "fig10")
+    result = ExperimentResult("fig10", "Perplexity/throughput trade, A100", table)
+    _claims(result, table)
+    return result
+
+
+@register_experiment(
+    "fig29",
+    "Perplexity vs throughput: ~7B zoo on H100 (LongBench)",
+    "Fig. 29 / Appendix D",
+    tags=("quality",),
+)
+def fig29(runner: BenchmarkRunner) -> ExperimentResult:
+    table = _quality_table(runner, "H100", "fig29")
+    result = ExperimentResult("fig29", "Perplexity/throughput trade, H100", table)
+    _claims(result, table)
+    return result
+
+
+@register_experiment(
+    "longbench",
+    "Measured tokenizer effect on the synthetic LongBench corpus",
+    "Appendix D (methodology)",
+    tags=("quality", "methodology"),
+)
+def longbench_tokenization(runner: BenchmarkRunner) -> ExperimentResult:
+    """Measured (not assumed) vocabulary-compression effect.
+
+    Trains BPE tokenizers of increasing vocabulary on the unified corpus
+    and records tokens-per-word: the mechanism behind the vocabulary
+    correction in the perplexity model.
+    """
+    from repro.evaluation.tokenizer import ByteBPETokenizer
+
+    corpus = unified_corpus(num_documents=4, words_per_document=150, seed=7)
+    table = ResultTable("longbench")
+    for vocab in (260, 320, 512, 1024):
+        tok = ByteBPETokenizer(vocab_size=vocab).train(corpus)
+        table.add(
+            {"vocab_size": vocab},
+            {
+                "tokens_per_word": tok.tokens_per_word(corpus),
+                "actual_vocab": float(tok.actual_vocab_size),
+            },
+        )
+    result = ExperimentResult("longbench", "Tokenizer compression", table)
+    small = table.single("tokens_per_word", vocab_size=260)
+    large = table.single("tokens_per_word", vocab_size=1024)
+    result.claim("small_vocab_tokens_over_large", small / large, paper=None)
+    return result

@@ -1,0 +1,150 @@
+"""Reproductions of the paper's tables (I: models, II: hardware, III:
+framework support), as checkable experiments.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.bench.runner import BenchmarkRunner
+from repro.core.results import ResultTable
+from repro.frameworks.support import support_matrix
+from repro.hardware.spec import GB
+from repro.hardware.zoo import HARDWARE_ZOO
+from repro.models.zoo import PRIMARY_MODELS, get_model
+
+__all__: list[str] = []
+
+# Table I verbatim: (layers, hidden, attention, heads, kv, ffn, experts,
+# intermediate, max seq, vocab).
+_TABLE_I = {
+    "LLaMA-2-7B": (32, 4096, "mhsa", 32, 32, "dense", 1, 11008, 4096, 32000),
+    "LLaMA-3-8B": (32, 4096, "gqa", 32, 8, "dense", 1, 14336, 8192, 128256),
+    "Mistral-7B": (32, 4096, "gqa", 32, 8, "dense", 1, 14336, 32768, 32000),
+    "Qwen2-7B": (28, 3584, "gqa", 28, 4, "dense", 1, 18944, 131072, 152064),
+    "LLaMA-2-70B": (80, 8192, "gqa", 64, 8, "dense", 1, 28672, 4096, 32000),
+    "LLaMA-3-70B": (80, 8192, "gqa", 64, 8, "dense", 1, 28672, 8192, 128256),
+    "Qwen2-72B": (80, 8192, "gqa", 64, 8, "dense", 1, 29568, 131072, 152064),
+    "Mixtral-8x7B": (32, 4096, "gqa", 32, 8, "moe", 8, 14336, 32768, 32000),
+}
+
+# Table II memory per device, in GB.
+_TABLE_II_MEMORY = {
+    "A100": 40,
+    "H100": 80,
+    "GH200": 96,
+    "MI250": 128,
+    "MI300X": 192,
+    "Gaudi2": 96,
+    "SN40L": 64,
+}
+
+# Table III (plus the extensions documented in frameworks.support).
+_TABLE_III = {
+    ("vLLM", "A100"): True,
+    ("vLLM", "H100"): True,
+    ("vLLM", "GH200"): True,
+    ("vLLM", "MI250"): True,
+    ("vLLM", "Gaudi2"): True,
+    ("llama.cpp", "A100"): True,
+    ("llama.cpp", "H100"): True,
+    ("llama.cpp", "GH200"): True,
+    ("llama.cpp", "MI250"): True,
+    ("llama.cpp", "Gaudi2"): False,
+    ("TRT-LLM", "A100"): True,
+    ("TRT-LLM", "H100"): True,
+    ("TRT-LLM", "GH200"): True,
+    ("TRT-LLM", "MI250"): False,
+    ("TRT-LLM", "Gaudi2"): False,
+    ("DeepSpeed-MII", "A100"): True,
+    ("DeepSpeed-MII", "H100"): False,
+    ("DeepSpeed-MII", "GH200"): False,
+    ("DeepSpeed-MII", "MI250"): False,
+    ("DeepSpeed-MII", "Gaudi2"): True,
+}
+
+
+@register_experiment(
+    "tab1",
+    "Table I: model architecture configurations",
+    "Table I / Appendix C",
+    tags=("tables",),
+)
+def tab1(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("tab1")
+    mismatches = 0
+    for name, expected in _TABLE_I.items():
+        cfg = get_model(name)
+        actual = (
+            cfg.num_layers,
+            cfg.hidden_size,
+            cfg.attention_type.value,
+            cfg.num_attention_heads,
+            cfg.num_kv_heads,
+            cfg.ffn_type.value,
+            cfg.num_experts,
+            cfg.ffn_intermediate_size,
+            cfg.max_sequence_length,
+            cfg.vocab_size,
+        )
+        match = actual == expected
+        mismatches += 0 if match else 1
+        table.add(
+            {"model": name, "match": match},
+            {"total_params_b": cfg.total_params / 1e9},
+        )
+    result = ExperimentResult("tab1", "Model configuration fidelity", table)
+    result.claim("config_mismatches", float(mismatches), paper=0.0)
+    result.claim("models_covered", float(len(PRIMARY_MODELS)), paper=8.0)
+    return result
+
+
+@register_experiment(
+    "tab2",
+    "Table II: hardware platform features",
+    "Table II / Appendix B",
+    tags=("tables",),
+)
+def tab2(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("tab2")
+    mismatches = 0
+    for name, memory_gb in _TABLE_II_MEMORY.items():
+        spec = HARDWARE_ZOO[name.lower()]
+        actual_gb = spec.memory_per_device_bytes / GB
+        match = abs(actual_gb - memory_gb) < 0.5
+        mismatches += 0 if match else 1
+        table.add(
+            {"hardware": name, "match": match},
+            {
+                "memory_gb": actual_gb,
+                "bandwidth_tb_s": spec.memory_bandwidth_bytes_s / 1e12,
+                "peak_fp16_tflops": spec.peak_fp16_tflops,
+                "devices_per_node": float(spec.devices_per_node),
+            },
+        )
+    result = ExperimentResult("tab2", "Hardware spec fidelity", table)
+    result.claim("memory_mismatches", float(mismatches), paper=0.0)
+    result.claim("platforms_covered", float(len(_TABLE_II_MEMORY)), paper=7.0)
+    return result
+
+
+@register_experiment(
+    "tab3",
+    "Table III: framework x hardware support matrix",
+    "Table III / Appendix C",
+    tags=("tables",),
+)
+def tab3(runner: BenchmarkRunner) -> ExperimentResult:
+    table = ResultTable("tab3")
+    matrix = support_matrix()
+    mismatches = 0
+    for (fw, hw), expected in _TABLE_III.items():
+        actual = matrix[fw][hw]
+        match = actual == expected
+        mismatches += 0 if match else 1
+        table.add(
+            {"framework": fw, "hardware": hw, "match": match},
+            {"supported": 1.0 if actual else 0.0},
+        )
+    result = ExperimentResult("tab3", "Support-matrix fidelity", table)
+    result.claim("support_mismatches", float(mismatches), paper=0.0)
+    return result

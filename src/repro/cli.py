@@ -1,0 +1,224 @@
+"""Command-line interface: ``llm-inference-bench`` / ``python -m repro``.
+
+Subcommands
+-----------
+list
+    Registered models, hardware platforms, frameworks and experiments.
+run EXPERIMENT [...]
+    Run reproductions and print their tables plus headline comparisons.
+point --model M --hardware H --framework F [--batch-size N] [...]
+    One benchmark point with full metric output.
+report [--output EXPERIMENTS.md]
+    Run everything and regenerate the paper-vs-measured markdown.
+dashboard [--output dashboard.html]
+    Build the self-contained HTML dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench import (
+    EXPERIMENTS,
+    BenchmarkRunner,
+    experiments_markdown,
+    run_all,
+    run_experiment,
+)
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import list_frameworks
+from repro.hardware.zoo import list_hardware
+from repro.models.zoo import list_models
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llm-inference-bench",
+        description="LLM-Inference-Bench reproduction (simulated accelerators)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models, hardware, frameworks, experiments")
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run_p.add_argument(
+        "--engine",
+        action="store_true",
+        help="use the discrete-event engine instead of the closed-form estimator",
+    )
+    run_p.add_argument(
+        "--table", action="store_true", help="print the full sweep table too"
+    )
+
+    point_p = sub.add_parser("point", help="run a single benchmark point")
+    point_p.add_argument("--model", required=True)
+    point_p.add_argument("--hardware", required=True)
+    point_p.add_argument("--framework", required=True)
+    point_p.add_argument("--batch-size", type=int, default=1)
+    point_p.add_argument("--input-tokens", type=int, default=1024)
+    point_p.add_argument("--output-tokens", type=int, default=1024)
+    point_p.add_argument("--engine", action="store_true")
+
+    analyze_p = sub.add_parser(
+        "analyze", help="bottleneck attribution for one configuration"
+    )
+    analyze_p.add_argument("--model", required=True)
+    analyze_p.add_argument("--hardware", required=True)
+    analyze_p.add_argument("--framework", required=True)
+    analyze_p.add_argument("--batch-size", type=int, default=16)
+    analyze_p.add_argument("--input-tokens", type=int, default=1024)
+    analyze_p.add_argument("--output-tokens", type=int, default=1024)
+
+    report_p = sub.add_parser("report", help="regenerate EXPERIMENTS.md content")
+    report_p.add_argument("--output", default=None, help="write to file")
+
+    dash_p = sub.add_parser("dashboard", help="build the HTML dashboard")
+    dash_p.add_argument("--output", default="dashboard.html")
+
+    export_p = sub.add_parser(
+        "export", help="write per-experiment CSVs + index.json"
+    )
+    export_p.add_argument("--outdir", default="results")
+    export_p.add_argument("--ids", nargs="*", default=None)
+
+    validate_p = sub.add_parser(
+        "validate", help="cross-check estimator vs event engine"
+    )
+    validate_p.add_argument("--points", type=int, default=20)
+    validate_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Models:")
+    for name in list_models():
+        print(f"  {name}")
+    print("Hardware:")
+    for name in list_hardware():
+        print(f"  {name}")
+    print("Frameworks:")
+    for name in list_frameworks():
+        print(f"  {name}")
+    print("Experiments:")
+    for eid in sorted(EXPERIMENTS):
+        print(f"  {eid}: {EXPERIMENTS[eid].title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(use_engine=args.engine)
+    for eid in args.experiments:
+        result = run_experiment(eid, runner)
+        print(result.render())
+        if args.table:
+            print(result.table.render())
+        print()
+    return 0
+
+
+def _cmd_point(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(use_engine=args.engine)
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    config = GenerationConfig(args.input_tokens, args.output_tokens, args.batch_size)
+    metrics = runner.run_point(dep, config)
+    if metrics.oom:
+        print("OOM: configuration does not fit in device memory")
+        return 1
+    print(f"model           {dep.model.name}")
+    print(f"hardware        {dep.hardware.name} x{dep.num_devices}")
+    print(f"framework       {dep.framework.name}")
+    print(f"throughput      {metrics.throughput_tokens_per_s:,.1f} tokens/s")
+    print(f"TTFT            {metrics.ttft_s * 1e3:,.1f} ms")
+    print(f"ITL             {metrics.itl_s * 1e3:,.3f} ms")
+    print(f"end-to-end      {metrics.end_to_end_latency_s:,.2f} s")
+    if metrics.average_power_w is not None:
+        print(f"average power   {metrics.average_power_w:,.0f} W")
+        print(f"perf/watt       {metrics.perf_per_watt:,.2f} tokens/s/W")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+
+    runner = BenchmarkRunner()
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    config = GenerationConfig(args.input_tokens, args.output_tokens, args.batch_size)
+    try:
+        report = analyze(dep, config)
+    except ValueError as exc:
+        print(f"cannot analyze: {exc}")
+        return 1
+    print(
+        f"{dep.model.name} / {dep.hardware.name} x{dep.num_devices} / "
+        f"{dep.framework.name} @ batch {config.batch_size}"
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = run_all()
+    markdown = experiments_markdown(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.dashboard import write_dashboard
+
+    results = run_all()
+    path = write_dashboard(results, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.bench.export import export_bundle
+
+    results = run_all(ids=args.ids)
+    index = export_bundle(results, args.outdir)
+    print(f"wrote {len(results)} CSVs + {index}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.bench.validation import cross_validate
+
+    summary = cross_validate(num_points=args.points, seed=args.seed)
+    print(summary.render())
+    return 0 if summary.max_relative_error < 0.05 else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "point":
+        return _cmd_point(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

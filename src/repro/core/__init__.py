@@ -1,0 +1,33 @@
+"""Core primitives: metrics, precisions, requests, sweeps and result tables."""
+
+from repro.core.metrics import (
+    InferenceMetrics,
+    LatencyBreakdown,
+    inter_token_latency,
+    perf_per_watt,
+    throughput_tokens_per_s,
+)
+from repro.core.precision import PRECISIONS, Precision, PrecisionSpec, precision_spec
+from repro.core.request import GenerationConfig, GenerationRequest, RequestState
+from repro.core.results import ResultRecord, ResultTable
+from repro.core.sweep import Sweep, paper_batch_sweep, paper_length_sweep
+
+__all__ = [
+    "InferenceMetrics",
+    "LatencyBreakdown",
+    "inter_token_latency",
+    "perf_per_watt",
+    "throughput_tokens_per_s",
+    "PRECISIONS",
+    "Precision",
+    "PrecisionSpec",
+    "precision_spec",
+    "GenerationConfig",
+    "GenerationRequest",
+    "RequestState",
+    "ResultRecord",
+    "ResultTable",
+    "Sweep",
+    "paper_batch_sweep",
+    "paper_length_sweep",
+]

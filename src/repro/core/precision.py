@@ -1,0 +1,75 @@
+"""Numeric precision (dtype) definitions used throughout the simulator.
+
+The paper benchmarks models in 16-bit by default and studies FP8/INT8
+quantization (Fig. 3).  Hardware platforms differ in which precisions they
+support (Table II), and lower precisions both shrink memory traffic and, on
+hardware with dedicated low-precision engines, raise peak FLOP rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Precision", "PrecisionSpec", "PRECISIONS", "precision_spec"]
+
+
+class Precision(str, enum.Enum):
+    """Supported numeric formats, named as in the paper's Table II."""
+
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP8 = "fp8"
+    INT8 = "int8"
+    INT4 = "int4"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Static properties of a numeric format.
+
+    Attributes
+    ----------
+    precision:
+        The format identifier.
+    bytes_per_element:
+        Storage size of one scalar.  INT4 packs two values per byte.
+    matmul_speedup:
+        Peak-FLOP multiplier relative to the hardware's FP16 tensor rate
+        *when the hardware has a native engine for this format* (e.g. FP8 on
+        H100 runs at 2x the FP16 rate).  Hardware without native support
+        falls back to 1.0 (dequantize-then-FP16-matmul), which still enjoys
+        the memory-traffic reduction — this is why INT8 helps on A100 even
+        though A100 has no FP8 (paper Section IV-B3).
+    is_integer:
+        Whether the format is an integer (affects perplexity degradation in
+        the quality model).
+    """
+
+    precision: Precision
+    bytes_per_element: float
+    matmul_speedup: float
+    is_integer: bool = False
+
+
+PRECISIONS: dict[Precision, PrecisionSpec] = {
+    Precision.FP32: PrecisionSpec(Precision.FP32, 4.0, 0.5),
+    Precision.TF32: PrecisionSpec(Precision.TF32, 4.0, 0.5),
+    Precision.FP16: PrecisionSpec(Precision.FP16, 2.0, 1.0),
+    Precision.BF16: PrecisionSpec(Precision.BF16, 2.0, 1.0),
+    Precision.FP8: PrecisionSpec(Precision.FP8, 1.0, 2.0),
+    Precision.INT8: PrecisionSpec(Precision.INT8, 1.0, 2.0, is_integer=True),
+    Precision.INT4: PrecisionSpec(Precision.INT4, 0.5, 2.0, is_integer=True),
+}
+
+
+def precision_spec(precision: Precision | str) -> PrecisionSpec:
+    """Look up the :class:`PrecisionSpec` for a precision (or its name)."""
+    if isinstance(precision, str):
+        precision = Precision(precision.lower())
+    return PRECISIONS[precision]

@@ -1,0 +1,152 @@
+"""Request and generation-configuration types.
+
+``GenerationConfig`` captures the paper's token-generation parameters
+(Section III-2): input length, output size (max_new_tokens) and batch size.
+``GenerationRequest`` is the unit of work the discrete-event serving engine
+(:mod:`repro.runtime.engine`) schedules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["GenerationConfig", "GenerationRequest", "RequestState"]
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Workload shape for one benchmark point.
+
+    The paper sweeps input/output lengths of {128, 256, 512, 1024, 2048}
+    and batch sizes of {1, 16, 32, 64}.
+    """
+
+    input_tokens: int
+    output_tokens: int
+    batch_size: int = 1
+
+    # Paper sweep values, exposed for the bench harness.
+    PAPER_LENGTHS = (128, 256, 512, 1024, 2048)
+    PAPER_BATCH_SIZES = (1, 16, 32, 64)
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ValueError(f"input_tokens must be >= 1, got {self.input_tokens}")
+        if self.output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def total_tokens_per_sequence(self) -> int:
+        """Final context length a sequence reaches (input + output)."""
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def total_tokens(self) -> int:
+        """Total tokens processed across the batch (Eq. 2 numerator)."""
+        return self.batch_size * self.total_tokens_per_sequence
+
+    def with_batch_size(self, batch_size: int) -> "GenerationConfig":
+        return GenerationConfig(self.input_tokens, self.output_tokens, batch_size)
+
+
+class RequestState:
+    """Lifecycle states of a request inside the serving engine."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class GenerationRequest:
+    """One inference request flowing through the serving runtime.
+
+    Times are simulation-clock seconds.  ``first_token_time`` minus
+    ``arrival_time`` is the request's TTFT; ``finish_time`` minus
+    ``arrival_time`` its end-to-end latency.
+    """
+
+    input_tokens: int
+    output_tokens: int
+    arrival_time: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    state: str = RequestState.QUEUED
+    generated_tokens: int = 0
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    # Preemption-and-recompute support (vLLM's optimistic admission): when
+    # a request is evicted mid-decode, ``restart_context`` records the
+    # context length to re-prefill on its next admission, and
+    # ``preemptions`` counts how often that happened.
+    restart_context: int = 0
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ValueError(f"input_tokens must be >= 1, got {self.input_tokens}")
+        if self.output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+        if self.arrival_time < 0.0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+
+    @property
+    def context_length(self) -> int:
+        """Current context length: prompt plus tokens generated so far."""
+        return self.input_tokens + self.generated_tokens
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state == RequestState.FINISHED
+
+    @property
+    def ttft_s(self) -> float:
+        if self.first_token_time is None:
+            raise RuntimeError(f"request {self.request_id} has not produced a token")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def end_to_end_latency_s(self) -> float:
+        if self.finish_time is None:
+            raise RuntimeError(f"request {self.request_id} has not finished")
+        return self.finish_time - self.arrival_time
+
+    def record_token(self, now: float) -> None:
+        """Account one generated token at simulation time ``now``."""
+        if self.generated_tokens >= self.output_tokens:
+            raise RuntimeError(
+                f"request {self.request_id} already generated all "
+                f"{self.output_tokens} tokens"
+            )
+        self.generated_tokens += 1
+        if self.first_token_time is None:
+            self.first_token_time = now
+            self.state = RequestState.DECODING
+        if self.generated_tokens == self.output_tokens:
+            self.finish_time = now
+            self.state = RequestState.FINISHED
+
+    def mark_preempted(self) -> None:
+        """Evict the request mid-decode (vLLM recompute preemption).
+
+        Already-generated tokens stay emitted; the engine re-prefills the
+        full context (prompt + generated so far) on readmission.
+        """
+        if self.state not in (RequestState.PREFILLING, RequestState.DECODING):
+            raise RuntimeError(
+                f"request {self.request_id} is {self.state}; cannot preempt"
+            )
+        self.restart_context = self.context_length
+        self.preemptions += 1
+        self.state = RequestState.QUEUED
+
+    @property
+    def prefill_tokens_needed(self) -> int:
+        """Context to (re-)prefill at the next admission."""
+        return self.restart_context if self.restart_context > 0 else self.input_tokens

@@ -1,0 +1,125 @@
+"""Self-contained HTML dashboard generator.
+
+The paper ships an interactive dashboard for exploring (framework,
+accelerator, model) configurations.  This generator produces a single
+dependency-free HTML file: experiment result tables embedded as JSON, a
+client-side filter bar, and pure-JS bar rendering (no network, no CDN).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+
+__all__ = ["dashboard_html", "write_dashboard"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>LLM-Inference-Bench Dashboard (reproduction)</title>
+<style>
+  body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }}
+  h1 {{ font-size: 1.4rem; }}
+  h2 {{ font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #ccc; }}
+  .claims td, .claims th, .data td, .data th {{
+    padding: 2px 10px; text-align: right; font-variant-numeric: tabular-nums;
+  }}
+  .claims th, .data th {{ background: #eef; }}
+  .claims td:first-child, .data td:first-child {{ text-align: left; }}
+  .bar {{ background: #4a6fa5; height: 12px; display: inline-block; }}
+  select {{ margin-right: 1rem; }}
+  .note {{ color: #555; font-size: 0.9rem; }}
+</style>
+</head>
+<body>
+<h1>LLM-Inference-Bench &mdash; reproduction dashboard</h1>
+<p class="note">Simulated measurements (see DESIGN.md). Pick an experiment
+to view its sweep table; bars are proportional to throughput within each
+table.</p>
+<label>Experiment: <select id="picker"></select></label>
+<div id="content"></div>
+<script>
+const DATA = {data_json};
+const picker = document.getElementById("picker");
+const content = document.getElementById("content");
+for (const id of Object.keys(DATA)) {{
+  const opt = document.createElement("option");
+  opt.value = id;
+  opt.textContent = id + " — " + DATA[id].title;
+  picker.appendChild(opt);
+}}
+function fmt(v) {{
+  if (typeof v !== "number") return String(v);
+  return Math.abs(v) >= 100 ? v.toFixed(0) : v.toPrecision(3);
+}}
+function render(id) {{
+  const exp = DATA[id];
+  let out = "<h2>" + id + ": " + exp.title + "</h2>";
+  out += "<p class='note'>" + exp.section + "</p>";
+  if (exp.claims.length) {{
+    out += "<table class='claims'><tr><th>headline</th><th>paper</th><th>measured</th></tr>";
+    for (const c of exp.claims) {{
+      out += "<tr><td>" + c.name + "</td><td>" + (c.paper === null ? "—" : fmt(c.paper)) +
+             "</td><td>" + fmt(c.measured) + "</td></tr>";
+    }}
+    out += "</table>";
+  }}
+  const rows = exp.records;
+  if (rows.length) {{
+    const cols = Object.keys(rows[0]);
+    const tputCol = cols.find(c => c.includes("throughput") || c.includes("peak"));
+    const maxTput = tputCol ? Math.max(...rows.map(r => r[tputCol] || 0)) : 0;
+    out += "<table class='data'><tr>" + cols.map(c => "<th>" + c + "</th>").join("") +
+           (tputCol ? "<th></th>" : "") + "</tr>";
+    for (const r of rows) {{
+      out += "<tr>" + cols.map(c => "<td>" + fmt(r[c]) + "</td>").join("");
+      if (tputCol && maxTput > 0) {{
+        const w = Math.round(200 * (r[tputCol] || 0) / maxTput);
+        out += "<td><span class='bar' style='width:" + w + "px'></span></td>";
+      }}
+      out += "</tr>";
+    }}
+    out += "</table>";
+  }}
+  content.innerHTML = out;
+}}
+picker.addEventListener("change", () => render(picker.value));
+render(picker.value);
+</script>
+</body>
+</html>
+"""
+
+
+def dashboard_html(results: list[ExperimentResult]) -> str:
+    """Render results into a single self-contained HTML page."""
+    if not results:
+        raise ValueError("no results to render")
+    data: dict[str, dict] = {}
+    for result in results:
+        exp = EXPERIMENTS.get(result.experiment_id)
+        data[result.experiment_id] = {
+            "title": html.escape(result.title),
+            "section": html.escape(exp.section if exp else ""),
+            "claims": [
+                {
+                    "name": name,
+                    "measured": measured,
+                    "paper": result.paper.get(name),
+                }
+                for name, measured in result.measured.items()
+            ],
+            "records": result.table.to_dicts(),
+        }
+    return _PAGE.format(data_json=json.dumps(data))
+
+
+def write_dashboard(results: list[ExperimentResult], path: str | Path) -> Path:
+    """Write the dashboard file and return its path."""
+    out = Path(path)
+    out.write_text(dashboard_html(results), encoding="utf-8")
+    return out

@@ -1,0 +1,28 @@
+"""Validation substrate: tokenizer, synthetic LongBench, perplexity."""
+
+from repro.evaluation.datasets import (
+    LONGBENCH_SUBSETS,
+    SyntheticDataset,
+    generate_subset,
+    unified_corpus,
+)
+from repro.evaluation.generation import GenerationResult, TextGenerator
+from repro.evaluation.perplexity import (
+    NGramLanguageModel,
+    model_perplexity_on_corpus,
+    perplexity_of_stream,
+)
+from repro.evaluation.tokenizer import ByteBPETokenizer
+
+__all__ = [
+    "LONGBENCH_SUBSETS",
+    "SyntheticDataset",
+    "generate_subset",
+    "unified_corpus",
+    "GenerationResult",
+    "TextGenerator",
+    "NGramLanguageModel",
+    "model_perplexity_on_corpus",
+    "perplexity_of_stream",
+    "ByteBPETokenizer",
+]

@@ -1,0 +1,149 @@
+"""Byte-level BPE tokenizer, from scratch.
+
+The perplexity pipeline (paper Appendix D) needs a real tokenizer: the
+paper's central vocabulary-size observations (LLaMA-3's 128K vocab vs
+LLaMA-2's 32K) are token-level effects.  This is a compact but genuine BPE:
+train on a corpus by iteratively merging the most frequent adjacent symbol
+pair; encode by applying merges in training order.
+
+Vocabulary size is a constructor parameter, so tests can instantiate
+"small-vocab" and "large-vocab" tokenizers and verify the paper's
+direction: a larger vocabulary compresses text into fewer tokens, raising
+per-token information content (and hence token-level perplexity).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["ByteBPETokenizer"]
+
+_BYTE_VOCAB = 256
+
+
+@dataclass
+class ByteBPETokenizer:
+    """Trainable byte-pair-encoding tokenizer over UTF-8 bytes."""
+
+    vocab_size: int = 512
+    merges: list[tuple[int, int]] = field(default_factory=list)
+    _merge_ranks: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < _BYTE_VOCAB:
+            raise ValueError(
+                f"vocab_size must be >= {_BYTE_VOCAB}, got {self.vocab_size}"
+            )
+        self._merge_ranks = {pair: i for i, pair in enumerate(self.merges)}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train(self, corpus: str) -> "ByteBPETokenizer":
+        """Learn merges from ``corpus`` until the vocab target is reached."""
+        if not corpus:
+            raise ValueError("training corpus is empty")
+        # Word-level pre-segmentation keeps merges inside whitespace-
+        # delimited chunks (standard BPE practice) and makes training fast.
+        words = Counter(corpus.split())
+        if not words:
+            raise ValueError("corpus contains only whitespace")
+        # GPT-2-style: each word carries its leading space, so decode can
+        # reconstruct the text exactly (up to whitespace normalization).
+        sequences: dict[tuple[int, ...], int] = {
+            tuple((" " + word).encode("utf-8")): count
+            for word, count in words.items()
+        }
+        self.merges = []
+        next_id = _BYTE_VOCAB
+        while next_id < self.vocab_size:
+            pair_counts: Counter[tuple[int, int]] = Counter()
+            for seq, count in sequences.items():
+                for a, b in zip(seq, seq[1:]):
+                    pair_counts[(a, b)] += count
+            if not pair_counts:
+                break
+            best, best_count = pair_counts.most_common(1)[0]
+            if best_count < 2:
+                break
+            self.merges.append(best)
+            sequences = {
+                self._apply_merge(seq, best, next_id): count
+                for seq, count in sequences.items()
+            }
+            next_id += 1
+        self._merge_ranks = {pair: i for i, pair in enumerate(self.merges)}
+        return self
+
+    @staticmethod
+    def _apply_merge(
+        seq: tuple[int, ...], pair: tuple[int, int], new_id: int
+    ) -> tuple[int, ...]:
+        out: list[int] = []
+        i = 0
+        while i < len(seq):
+            if i + 1 < len(seq) and (seq[i], seq[i + 1]) == pair:
+                out.append(new_id)
+                i += 2
+            else:
+                out.append(seq[i])
+                i += 1
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    @property
+    def actual_vocab_size(self) -> int:
+        """Base bytes plus learned merges (may be below the target)."""
+        return _BYTE_VOCAB + len(self.merges)
+
+    def encode(self, text: str) -> list[int]:
+        """Tokenize text by greedily applying merges in rank order."""
+        tokens: list[int] = []
+        for word in text.split():
+            seq = list((" " + word).encode("utf-8"))
+            while len(seq) > 1:
+                # Find the lowest-rank (earliest-learned) applicable merge.
+                best_rank = None
+                best_index = -1
+                for i, pair in enumerate(zip(seq, seq[1:])):
+                    rank = self._merge_ranks.get(pair)
+                    if rank is not None and (best_rank is None or rank < best_rank):
+                        best_rank = rank
+                        best_index = i
+                if best_rank is None:
+                    break
+                new_id = _BYTE_VOCAB + best_rank
+                seq = seq[:best_index] + [new_id] + seq[best_index + 2 :]
+            tokens.extend(seq)
+        return tokens
+
+    def decode(self, tokens: list[int]) -> str:
+        """Inverse of :meth:`encode` up to whitespace normalization."""
+        id_to_pair = {
+            _BYTE_VOCAB + rank: pair for pair, rank in self._merge_ranks.items()
+        }
+
+        def expand(token: int) -> bytes:
+            if token < _BYTE_VOCAB:
+                return bytes([token])
+            a, b = id_to_pair[token]
+            return expand(a) + expand(b)
+
+        pieces: list[bytes] = []
+        for token in tokens:
+            if token >= self.actual_vocab_size or token < 0:
+                raise ValueError(f"token id {token} out of range")
+            pieces.append(expand(token))
+        return b"".join(pieces).decode("utf-8", errors="replace").lstrip(" ")
+
+    def tokens_per_word(self, text: str) -> float:
+        """Compression: mean tokens per whitespace word (lower = larger vocab)."""
+        words = text.split()
+        if not words:
+            raise ValueError("text contains no words")
+        return len(self.encode(text)) / len(words)

@@ -1,0 +1,39 @@
+"""Inference-framework profiles: vLLM, TRT-LLM, DeepSpeed-MII, llama.cpp."""
+
+from repro.frameworks.base import (
+    FRAMEWORK_REGISTRY,
+    FrameworkProfile,
+    MultiGpuStyle,
+    get_framework,
+    list_frameworks,
+    register_framework,
+)
+from repro.frameworks.dsmii import DS_MII
+from repro.frameworks.llamacpp import LLAMA_CPP
+from repro.frameworks.sambaflow import SAMBAFLOW
+from repro.frameworks.support import (
+    frameworks_for,
+    hardware_for,
+    support_matrix,
+    supported_pairs,
+)
+from repro.frameworks.trtllm import TRT_LLM
+from repro.frameworks.vllm import VLLM
+
+__all__ = [
+    "FRAMEWORK_REGISTRY",
+    "FrameworkProfile",
+    "MultiGpuStyle",
+    "get_framework",
+    "list_frameworks",
+    "register_framework",
+    "DS_MII",
+    "LLAMA_CPP",
+    "SAMBAFLOW",
+    "TRT_LLM",
+    "VLLM",
+    "frameworks_for",
+    "hardware_for",
+    "support_matrix",
+    "supported_pairs",
+]

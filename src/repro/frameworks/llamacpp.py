@@ -1,0 +1,44 @@
+"""llama.cpp framework profile (paper Section V-4, Appendix C-5).
+
+llama.cpp is maximally portable but, per the paper, "suffers from device
+scaling ... due to the inability to fully utilize parallelism and LLM
+optimizations" and "does not leverage the full potential of Tensor Cores".
+Its profile therefore has: low kernel quality, no continuous batching,
+contiguous KV allocation, layer-split (not tensor-parallel) multi-GPU
+execution, and a GQA KV penalty ("llama.cpp is unable to fully take the
+advantage of Group Query Attention", Fig. 14/36).
+"""
+
+from __future__ import annotations
+
+from repro.core.precision import Precision
+from repro.frameworks.base import FrameworkProfile, MultiGpuStyle, register_framework
+
+__all__ = ["LLAMA_CPP"]
+
+LLAMA_CPP = register_framework(
+    FrameworkProfile(
+        name="llama.cpp",
+        supported_hardware=frozenset({"A100", "H100", "GH200", "MI250", "MI300X"}),
+        kernel_quality=0.38,
+        bandwidth_quality=0.80,
+        overlap=0.60,
+        gqa_kv_penalty=4.0,  # degenerates fully to MHSA-style reads
+        paged_kv=False,  # contiguous context buffer per sequence
+        continuous_batching=False,  # static batches
+        multi_gpu_style=MultiGpuStyle.LAYER_SPLIT,
+        comm_overhead_factor=1.5,
+        host_overhead_factor=2.0,
+        host_step_latency_s=4.0e-3,
+        memory_overhead_factor=1.15,  # up-front context/compute buffers
+        moe_efficiency=0.60,
+        sampling_ns_per_vocab_token=2.0,  # host-side sampling over full logits
+        supported_precisions=frozenset(
+            {Precision.FP16, Precision.BF16, Precision.INT8, Precision.INT4}  # GGUF
+        ),
+        power_intensity=0.65,  # underutilizes the device
+        supports_moe=True,
+        supports_speculative_decoding=True,
+        notes="portable GGUF runtime; weak batch and multi-GPU scaling",
+    )
+)

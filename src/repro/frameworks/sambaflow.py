@@ -1,0 +1,42 @@
+"""SambaFlow profile: the SN40L's vendor stack (paper Table II / Section VI-3).
+
+The SN40L is served only through SambaNova's own dataflow compiler.  Most of
+its distinctive behaviour (kernel fusion, three-tier memory, per-request
+pipeline setup) lives on the *hardware* spec; the framework profile encodes
+the software side: excellent fusion quality, continuous batching, but a
+limited model/batch envelope ("the current SN40L setup is limited to serving
+only a few batch sizes and a fixed number of RDUs", Section VII-2).
+"""
+
+from __future__ import annotations
+
+from repro.core.precision import Precision
+from repro.frameworks.base import FrameworkProfile, MultiGpuStyle, register_framework
+
+__all__ = ["SAMBAFLOW"]
+
+SAMBAFLOW = register_framework(
+    FrameworkProfile(
+        name="SambaFlow",
+        supported_hardware=frozenset({"SN40L"}),
+        kernel_quality=1.0,
+        bandwidth_quality=1.0,
+        overlap=0.97,  # spatial dataflow pipelines overlap aggressively
+        gqa_kv_penalty=1.0,
+        paged_kv=False,  # static dataflow graphs, contiguous buffers
+        continuous_batching=True,
+        multi_gpu_style=MultiGpuStyle.TENSOR_PARALLEL,
+        comm_overhead_factor=0.9,  # dedicated inter-RDU network
+        host_overhead_factor=0.5,
+        host_step_latency_s=0.2e-3,
+        memory_overhead_factor=1.05,
+        moe_efficiency=0.90,
+        supported_precisions=frozenset(
+            {Precision.FP32, Precision.BF16, Precision.INT8}
+        ),
+        power_intensity=0.9,
+        supports_moe=True,
+        supports_speculative_decoding=False,
+        notes="vendor dataflow stack; fixed 8-RDU deployment in the paper",
+    )
+)

@@ -1,0 +1,51 @@
+"""Framework x hardware support matrix (paper Table III, extended).
+
+Table III covers the four portable frameworks on five platforms; we extend
+it with MI300X (Table II lists vLLM/llama.cpp/DS-MII for it) and the
+SN40L's vendor-only SambaFlow so every platform in the study has at least
+one serving path.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import FRAMEWORK_REGISTRY, get_framework
+from repro.hardware.zoo import HARDWARE_ZOO
+
+__all__ = ["support_matrix", "supported_pairs", "frameworks_for", "hardware_for"]
+
+
+def support_matrix() -> dict[str, dict[str, bool]]:
+    """``{framework: {hardware: supported}}`` over all registered entries."""
+    matrix: dict[str, dict[str, bool]] = {}
+    for fw in FRAMEWORK_REGISTRY.values():
+        matrix[fw.name] = {
+            hw.name: fw.supports_hardware(hw.name) for hw in HARDWARE_ZOO.values()
+        }
+    return matrix
+
+
+def supported_pairs() -> list[tuple[str, str]]:
+    """All (framework, hardware) pairs that can run."""
+    return [
+        (fw_name, hw_name)
+        for fw_name, row in support_matrix().items()
+        for hw_name, ok in row.items()
+        if ok
+    ]
+
+
+def frameworks_for(hardware_name: str) -> list[str]:
+    """Frameworks that run on a platform (validates the platform name)."""
+    if hardware_name.lower() not in HARDWARE_ZOO:
+        raise KeyError(f"unknown hardware {hardware_name!r}")
+    return [
+        fw.name
+        for fw in FRAMEWORK_REGISTRY.values()
+        if fw.supports_hardware(hardware_name)
+    ]
+
+
+def hardware_for(framework_name: str) -> list[str]:
+    """Platforms a framework runs on (validates the framework name)."""
+    fw = get_framework(framework_name)
+    return [hw.name for hw in HARDWARE_ZOO.values() if fw.supports_hardware(hw.name)]

@@ -1,0 +1,48 @@
+"""TensorRT-LLM framework profile (paper Section V-1, Appendix C-1).
+
+Nvidia's ahead-of-time compiled engine: layer fusion, kernel auto-tuning
+and in-flight batching give it the best kernel quality on Nvidia GPUs
+("TRT-LLM outperforms vLLM and DS-MII on Nvidia hardware", Section VI-1) at
+the price of platform lock-in and higher power draw (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from repro.core.precision import Precision
+from repro.frameworks.base import FrameworkProfile, MultiGpuStyle, register_framework
+
+__all__ = ["TRT_LLM"]
+
+TRT_LLM = register_framework(
+    FrameworkProfile(
+        name="TRT-LLM",
+        supported_hardware=frozenset({"A100", "H100", "GH200"}),
+        kernel_quality=1.0,
+        bandwidth_quality=1.0,
+        overlap=0.95,
+        gqa_kv_penalty=1.0,  # "this operation is optimized well" (Section V-1)
+        paged_kv=True,
+        kv_block_size=64,
+        continuous_batching=True,
+        chunked_prefill=True,
+        multi_gpu_style=MultiGpuStyle.TENSOR_PARALLEL,
+        comm_overhead_factor=0.95,  # NCCL + fused custom all-reduce
+        host_overhead_factor=0.8,  # C++ runtime
+        host_step_latency_s=0.6e-3,
+        memory_overhead_factor=1.08,  # compiled engine activation buffers
+        moe_efficiency=0.95,
+        supported_precisions=frozenset(
+            {
+                Precision.FP16,
+                Precision.BF16,
+                Precision.FP8,
+                Precision.INT8,
+                Precision.INT4,
+            }
+        ),
+        power_intensity=1.0,  # drives the device hardest (Fig. 16)
+        supports_moe=True,
+        supports_speculative_decoding=True,
+        notes="compiled engines, best Nvidia kernel quality, Nvidia-only",
+    )
+)

@@ -1,0 +1,66 @@
+"""Model architectures: Table I registry, op accounting, KV cache, quality."""
+
+from repro.models.config import AttentionType, FFNType, ModelConfig
+from repro.models.kvcache import KVCacheSpec, kv_bytes_for_sequence, kv_bytes_per_token
+from repro.models.ops import (
+    OpCounts,
+    activation_bytes_per_token,
+    attention_context_flops,
+    attention_linear_flops,
+    ffn_flops,
+    layer_flops,
+    linear_flops,
+    lm_head_flops,
+    model_flops,
+    weight_bytes,
+)
+from repro.models.report import ModelReport, model_report
+from repro.models.quality import (
+    QualityModel,
+    estimate_loss,
+    estimate_perplexity,
+    quantization_perplexity_factor,
+)
+from repro.models.zoo import (
+    MODEL_ZOO,
+    PERPLEXITY_ZOO,
+    PRIMARY_MODELS,
+    SEVEN_B_MODELS,
+    SEVENTY_B_MODELS,
+    get_model,
+    list_models,
+    register_model,
+)
+
+__all__ = [
+    "AttentionType",
+    "FFNType",
+    "ModelConfig",
+    "KVCacheSpec",
+    "kv_bytes_for_sequence",
+    "kv_bytes_per_token",
+    "OpCounts",
+    "activation_bytes_per_token",
+    "attention_context_flops",
+    "attention_linear_flops",
+    "ffn_flops",
+    "layer_flops",
+    "linear_flops",
+    "lm_head_flops",
+    "model_flops",
+    "weight_bytes",
+    "ModelReport",
+    "model_report",
+    "QualityModel",
+    "estimate_loss",
+    "estimate_perplexity",
+    "quantization_perplexity_factor",
+    "MODEL_ZOO",
+    "PERPLEXITY_ZOO",
+    "PRIMARY_MODELS",
+    "SEVEN_B_MODELS",
+    "SEVENTY_B_MODELS",
+    "get_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,75 @@
+"""Per-model architecture reports: parameter/FLOP/KV breakdowns.
+
+An extended Table I: where a model's parameters live (attention vs FFN vs
+embeddings), what one token costs, and how much KV it drags along — the
+quantities the paper's model-wise takeaways (Section VII-3) reason with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.kvcache import kv_bytes_per_token
+from repro.models.ops import model_flops
+
+__all__ = ["ModelReport", "model_report"]
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Architecture accounting for one model."""
+
+    name: str
+    total_params: int
+    active_params: int
+    attention_params: int
+    ffn_params: int
+    embedding_params: int
+    kv_bytes_per_token: float
+    decode_flops_per_token: float
+    prefill_flops_per_token_at_4k: float
+
+    @property
+    def attention_share(self) -> float:
+        return self.attention_params / self.total_params
+
+    @property
+    def ffn_share(self) -> float:
+        return self.ffn_params / self.total_params
+
+    @property
+    def embedding_share(self) -> float:
+        return self.embedding_params / self.total_params
+
+    def render(self) -> str:
+        return (
+            f"{self.name}: {self.total_params / 1e9:.2f}B params "
+            f"({self.active_params / 1e9:.2f}B active) | "
+            f"attn {self.attention_share:.0%}, ffn {self.ffn_share:.0%}, "
+            f"embed {self.embedding_share:.0%} | "
+            f"KV {self.kv_bytes_per_token / 1024:.0f} KiB/token | "
+            f"{self.decode_flops_per_token / 1e9:.1f} GFLOP/token decode"
+        )
+
+
+def model_report(config: ModelConfig) -> ModelReport:
+    """Build the accounting report for one architecture."""
+    attention = sum(
+        config.attention_params_at(layer) for layer in range(config.num_layers)
+    )
+    ffn = config.num_layers * config.num_experts * config.ffn_params_per_expert
+    return ModelReport(
+        name=config.name,
+        total_params=config.total_params,
+        active_params=config.active_params,
+        attention_params=attention,
+        ffn_params=ffn,
+        embedding_params=config.embedding_params,
+        kv_bytes_per_token=kv_bytes_per_token(config),
+        decode_flops_per_token=model_flops(config, 1, mean_context=1024),
+        prefill_flops_per_token_at_4k=model_flops(
+            config, 4096, mean_context=2048.5, include_lm_head_tokens=1
+        )
+        / 4096,
+    )

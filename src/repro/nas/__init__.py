@@ -1,0 +1,6 @@
+"""Neural-architecture search over KV-head allocations (DeciLM mechanism)."""
+
+from repro.nas.search import KVHeadSearch, NASResult
+from repro.nas.space import KVHeadSearchSpace
+
+__all__ = ["KVHeadSearch", "NASResult", "KVHeadSearchSpace"]

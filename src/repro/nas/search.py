@@ -1,0 +1,137 @@
+"""Evolutionary NAS over per-layer KV-head counts (reproduces Fig. 4a's
+DeciLM mechanism).
+
+The search maximizes decode throughput on a target (hardware, framework,
+workload) while keeping predicted perplexity within a budget of the base
+model's — exactly the trade DeciLM's NAS makes: fewer KV heads shrink the
+cache (faster decode at batch) but cost model quality, so the optimizer
+spends KV heads where the quality model says they matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import FrameworkProfile
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.quality import TRAINING_TOKENS, estimate_perplexity
+from repro.nas.space import KVHeadSearchSpace
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.phases import Deployment
+
+__all__ = ["NASResult", "KVHeadSearch"]
+
+
+@dataclass(frozen=True)
+class NASResult:
+    """Outcome of a search: the winning architecture and its scores."""
+
+    candidate: tuple[int, ...]
+    model: ModelConfig
+    throughput_tokens_per_s: float
+    perplexity: float
+    base_throughput_tokens_per_s: float
+    base_perplexity: float
+    evaluations: int
+
+    @property
+    def speedup(self) -> float:
+        return self.throughput_tokens_per_s / self.base_throughput_tokens_per_s
+
+    @property
+    def total_kv_heads(self) -> int:
+        return self.model.total_kv_heads
+
+
+@dataclass
+class KVHeadSearch:
+    """Seeded (mu + lambda) evolutionary search over the KV-head space."""
+
+    space: KVHeadSearchSpace
+    hardware: HardwareSpec
+    framework: FrameworkProfile
+    workload: GenerationConfig
+    perplexity_budget: float = 1.15  # candidate ppl <= budget * base ppl
+    population: int = 12
+    generations: int = 10
+    mutation_rate: float = 0.15
+    seed: int = 0
+    _evaluations: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if self.perplexity_budget < 1.0:
+            raise ValueError("perplexity_budget must be >= 1.0")
+
+    # ------------------------------------------------------------------
+
+    def _throughput(self, model: ModelConfig) -> float:
+        dep = Deployment(model, self.hardware, self.framework)
+        self._evaluations += 1
+        return InferenceEstimator(dep).throughput(self.workload)
+
+    def _candidate_perplexity(self, model: ModelConfig) -> float:
+        # Candidates inherit the base model's training corpus; without the
+        # explicit override the quality model would fall back to its
+        # 1T-token default for the unregistered "-nas" name.
+        base = self.space.base_model
+        tokens = TRAINING_TOKENS.get(base.name.lower())
+        return estimate_perplexity(model, training_tokens=tokens)
+
+    def _fitness(self, candidate: tuple[int, ...], base_ppl: float) -> float:
+        """Throughput if within the perplexity budget, else 0 (infeasible)."""
+        model = self.space.realize(candidate)
+        if self._candidate_perplexity(model) > self.perplexity_budget * base_ppl:
+            return 0.0
+        return self._throughput(model)
+
+    def run(self) -> NASResult:
+        rng = np.random.default_rng(self.seed)
+        base = self.space.base_model
+        base_ppl = estimate_perplexity(base)
+        base_tput = self._throughput(base)
+
+        # Seed the population with the uniform assignments plus randoms.
+        uniform_seeds = [(kv,) * self.space.num_layers for kv in self.space.pool]
+        pop = uniform_seeds[: self.population]
+        while len(pop) < self.population:
+            pop.append(self.space.random_candidate(rng))
+
+        scored = [(self._fitness(c, base_ppl), c) for c in pop]
+        for _ in range(self.generations):
+            scored.sort(key=lambda sc: sc[0], reverse=True)
+            parents = [c for _, c in scored[: max(2, self.population // 3)]]
+            children: list[tuple[int, ...]] = []
+            while len(children) < self.population - len(parents):
+                a = parents[int(rng.integers(0, len(parents)))]
+                b = parents[int(rng.integers(0, len(parents)))]
+                child = self.space.crossover(a, b, rng)
+                child = self.space.mutate(child, rng, self.mutation_rate)
+                children.append(child)
+            scored = scored[: len(parents)] + [
+                (self._fitness(c, base_ppl), c) for c in children
+            ]
+
+        scored.sort(key=lambda sc: sc[0], reverse=True)
+        best_fitness, best_candidate = scored[0]
+        if best_fitness <= 0.0:
+            raise RuntimeError(
+                "no feasible candidate found within the perplexity budget"
+            )
+        best_model = self.space.realize(best_candidate, name=f"{base.name}-nas")
+        return NASResult(
+            candidate=best_candidate,
+            model=best_model,
+            throughput_tokens_per_s=best_fitness,
+            perplexity=self._candidate_perplexity(best_model),
+            base_throughput_tokens_per_s=base_tput,
+            base_perplexity=base_ppl,
+            evaluations=self._evaluations,
+        )

@@ -1,0 +1,84 @@
+"""NAS search space: per-layer KV-head counts (paper Section IV-B4).
+
+DeciLM-7B was produced by searching, for every layer, a KV-head count from
+the pool {1, 2, 4}; the published model has 67 KV heads across 32 layers
+versus LLaMA-style models' uniform 8-per-layer (256 total).  The space here
+generalizes that: any per-layer assignment from a pool of divisors of the
+query-head count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+__all__ = ["KVHeadSearchSpace"]
+
+
+@dataclass(frozen=True)
+class KVHeadSearchSpace:
+    """Per-layer KV-head assignments drawn from ``pool``."""
+
+    base_model: ModelConfig
+    pool: tuple[int, ...] = (1, 2, 4)
+
+    def __post_init__(self) -> None:
+        if not self.pool:
+            raise ValueError("pool is empty")
+        heads = self.base_model.num_attention_heads
+        for kv in self.pool:
+            if kv < 1 or heads % kv != 0:
+                raise ValueError(
+                    f"pool value {kv} must divide {heads} query heads"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        return self.base_model.num_layers
+
+    @property
+    def size(self) -> int:
+        """Number of candidate architectures."""
+        return len(self.pool) ** self.num_layers
+
+    def random_candidate(self, rng: np.random.Generator) -> tuple[int, ...]:
+        choices = rng.integers(0, len(self.pool), size=self.num_layers)
+        return tuple(self.pool[int(i)] for i in choices)
+
+    def mutate(
+        self,
+        candidate: tuple[int, ...],
+        rng: np.random.Generator,
+        rate: float = 0.1,
+    ) -> tuple[int, ...]:
+        """Resample each layer's choice with probability ``rate``."""
+        if len(candidate) != self.num_layers:
+            raise ValueError("candidate length mismatch")
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        out = list(candidate)
+        for i in range(self.num_layers):
+            if rng.random() < rate:
+                out[i] = self.pool[int(rng.integers(0, len(self.pool)))]
+        return tuple(out)
+
+    def crossover(
+        self,
+        a: tuple[int, ...],
+        b: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """Uniform crossover of two candidates."""
+        if len(a) != self.num_layers or len(b) != self.num_layers:
+            raise ValueError("candidate length mismatch")
+        mask = rng.random(self.num_layers) < 0.5
+        return tuple(x if m else y for x, y, m in zip(a, b, mask))
+
+    def realize(
+        self, candidate: tuple[int, ...], name: str | None = None
+    ) -> ModelConfig:
+        """Instantiate a model config for a candidate assignment."""
+        return self.base_model.with_kv_heads_per_layer(candidate, name=name)

@@ -1,0 +1,182 @@
+"""Multi-node inference scaling (extension).
+
+The paper's study is intra-node, but its hardware appendix describes the
+scale-out path (GH200 NVL32's 32-GPU NVLink domain, InfiniBand-connected
+MGX systems) and its takeaways ask that frameworks "scale with an
+increasing number of computing chips".  This module extends the analytical
+model across nodes using the standard deployment shape: **tensor
+parallelism inside each node, pipeline parallelism across nodes**, with
+activations crossing the inter-node fabric once per stage boundary.
+
+Approximation note: each pipeline stage is modelled as a layer slice of
+the full model that also carries the embedding/LM-head weights (in
+reality only the first/last stage do), overcounting per-stage weight
+traffic by the embedding share — a few percent for 32K vocabularies,
+up to ~13% for 128K-vocabulary models.  This keeps slices expressible as
+ordinary :class:`~repro.models.config.ModelConfig` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.metrics import InferenceMetrics
+from repro.core.precision import Precision, precision_spec
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import FrameworkProfile
+from repro.hardware.interconnect import p2p_time
+from repro.hardware.spec import HardwareSpec, InterconnectSpec
+from repro.models.config import ModelConfig
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.parallelism import ParallelismPlan
+from repro.perf.phases import Deployment
+
+__all__ = ["INFINIBAND_NDR", "ClusterDeployment", "ClusterEstimate"]
+
+# NVIDIA NDR InfiniBand: 400 Gb/s per port = 50 GB/s, ~2x the latency of
+# intra-node NVLink hops.
+INFINIBAND_NDR = InterconnectSpec("InfiniBand-NDR", bandwidth_gb_s=50.0,
+                                  latency_us=5.0)
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Multi-node estimate plus its single-node-equivalent reference."""
+
+    metrics: InferenceMetrics
+    num_nodes: int
+    stage_layers: int
+    inter_node_time_per_step_s: float
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.metrics.throughput_tokens_per_s
+
+
+@dataclass(frozen=True)
+class ClusterDeployment:
+    """TP-inside / PP-across deployment over ``num_nodes`` identical nodes."""
+
+    model: ModelConfig
+    hardware: HardwareSpec
+    framework: FrameworkProfile
+    num_nodes: int
+    tp_per_node: int | None = None  # default: whole node
+    inter_node: InterconnectSpec = INFINIBAND_NDR
+    precision: Precision = Precision.FP16
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        tp = self.tp_per_node or self.hardware.devices_per_node
+        if not 1 <= tp <= self.hardware.devices_per_node:
+            raise ValueError(
+                f"tp_per_node must be in [1, {self.hardware.devices_per_node}]"
+            )
+        if self.model.num_layers < self.num_nodes:
+            raise ValueError(
+                f"{self.model.name}: {self.num_nodes} nodes exceed "
+                f"{self.model.num_layers} layers"
+            )
+        object.__setattr__(self, "tp_per_node", tp)
+
+    @property
+    def total_devices(self) -> int:
+        assert self.tp_per_node is not None
+        return self.num_nodes * self.tp_per_node
+
+    # ------------------------------------------------------------------
+
+    def _stage_model(self) -> ModelConfig:
+        """The layer slice one node executes (see module approximation)."""
+        layers = self.model.num_layers // self.num_nodes
+        slice_model = replace(
+            self.model,
+            name=f"{self.model.name}-stage",
+            num_layers=layers,
+            kv_heads_per_layer=(
+                self.model.kv_heads_per_layer[:layers]
+                if self.model.kv_heads_per_layer is not None
+                else None
+            ),
+        )
+        return slice_model
+
+    def _stage_deployment(self) -> Deployment:
+        assert self.tp_per_node is not None
+        return Deployment(
+            self._stage_model(),
+            self.hardware,
+            self.framework,
+            plan=ParallelismPlan(tp=self.tp_per_node),
+        )
+
+    def _inter_node_time(self, tokens: int) -> float:
+        """Activation handoffs across the (num_nodes - 1) stage boundaries."""
+        if self.num_nodes == 1:
+            return 0.0
+        bytes_per_boundary = (
+            tokens
+            * self.model.hidden_size
+            * precision_spec(self.precision).bytes_per_element
+        )
+        per_boundary = p2p_time(self.inter_node, bytes_per_boundary)
+        return (self.num_nodes - 1) * per_boundary * (
+            self.framework.comm_overhead_factor
+        )
+
+    def estimate(self, config: GenerationConfig) -> ClusterEstimate:
+        """End-to-end metrics for the cluster deployment.
+
+        Stage times come from the single-node estimator on the layer
+        slice; the pipeline over nodes inflates per-step time by
+        ``(m + N - 1)/m`` (decode microbatch limit 2, as intra-node) and
+        adds the inter-node activation handoffs.
+        """
+        stage = self._stage_deployment()
+        stage_metrics = InferenceEstimator(stage).estimate(config)
+        if stage_metrics.oom:
+            return ClusterEstimate(
+                metrics=stage_metrics,
+                num_nodes=self.num_nodes,
+                stage_layers=self._stage_model().num_layers,
+                inter_node_time_per_step_s=0.0,
+            )
+
+        decode_steps = max(0, config.output_tokens - 1)
+        microbatches = min(config.batch_size, self.num_nodes, 2)
+        pf = (microbatches + self.num_nodes - 1) / microbatches
+
+        decode_total = (
+            stage_metrics.end_to_end_latency_s - stage_metrics.ttft_s
+        )
+        inter_decode = self._inter_node_time(config.batch_size)
+        decode_cluster = decode_total * pf + decode_steps * inter_decode
+
+        prefill_m = min(config.batch_size * 4, self.num_nodes * 4)
+        prefill_pf = (prefill_m + self.num_nodes - 1) / prefill_m
+        inter_prefill = self._inter_node_time(
+            config.batch_size * config.input_tokens
+        )
+        ttft_cluster = stage_metrics.ttft_s * prefill_pf + inter_prefill
+
+        power = (
+            stage_metrics.average_power_w * self.num_nodes
+            if stage_metrics.average_power_w is not None
+            else None
+        )
+        metrics = InferenceMetrics(
+            batch_size=config.batch_size,
+            input_tokens=config.input_tokens,
+            output_tokens=config.output_tokens,
+            ttft_s=ttft_cluster,
+            end_to_end_latency_s=ttft_cluster + decode_cluster,
+            average_power_w=power,
+            effective_concurrency=stage_metrics.effective_concurrency,
+        )
+        return ClusterEstimate(
+            metrics=metrics,
+            num_nodes=self.num_nodes,
+            stage_layers=self._stage_model().num_layers,
+            inter_node_time_per_step_s=inter_decode,
+        )

@@ -1,0 +1,362 @@
+"""Prefill and decode-step latency models.
+
+This module evaluates the roofline for one forward pass of a deployed LLM:
+
+* **prefill** — the whole prompt batch in one pass: compute-rich (large
+  GEMMs run near peak), writes the KV cache, determines TTFT;
+* **decode step** — one token per sequence: memory-rich (the entire active
+  weight set plus the whole KV cache stream from DRAM per step), determines
+  ITL and, iterated ``output_tokens - 1`` times, the decode phase.
+
+Every mechanism the paper measures enters here: GQA's smaller KV traffic,
+MoE's active-expert weight traffic, paged-KV block granularity, tensor/
+pipeline/expert parallelism, quantization, per-platform efficiency curves,
+the MI250 saturation penalty and the SN40L's tiered memory and per-request
+setup cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.metrics import LatencyBreakdown
+from repro.frameworks.base import FrameworkProfile, MultiGpuStyle
+from repro.hardware.memory import MemoryModel
+from repro.hardware.roofline import mfu_at_batch, saturation_penalty
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.kvcache import KVCacheSpec, kv_bytes_per_token
+from repro.models.ops import (
+    activation_bytes_per_token,
+    attention_context_flops,
+    attention_linear_flops,
+    ffn_flops,
+    lm_head_flops,
+)
+from repro.perf.attention import kv_time_multiplier
+from repro.perf.parallelism import (
+    ParallelismPlan,
+    comm_costs_per_forward,
+    pipeline_factor,
+)
+from repro.perf.quantization import QuantizationScheme
+
+__all__ = [
+    "Deployment",
+    "moe_expected_active_experts",
+    "step_weight_bytes",
+    "forward_flops",
+    "prefill_breakdown",
+    "decode_step_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A fully specified serving configuration.
+
+    Bundles everything fixed for a benchmark point except the workload:
+    model x hardware x framework x parallelism plan x quantization x KV
+    policy.  ``framework`` is specialized to the hardware at construction
+    (Table III validation plus platform overrides such as Gaudi2's
+    contiguous KV).
+    """
+
+    model: ModelConfig
+    hardware: HardwareSpec
+    framework: FrameworkProfile
+    plan: ParallelismPlan = field(default_factory=ParallelismPlan)
+    quant: QuantizationScheme = field(default_factory=QuantizationScheme)
+    kv_spec: KVCacheSpec = field(default_factory=KVCacheSpec)
+
+    def __post_init__(self) -> None:
+        specialized = self.framework.on_hardware(self.hardware.name)
+        object.__setattr__(self, "framework", specialized)
+        self.plan.validate_for(self.model, self.hardware)
+        self.quant.validate_for(self.hardware, self.framework)
+        if self.model.is_moe and not self.framework.supports_moe:
+            raise ValueError(
+                f"{self.framework.name} cannot serve MoE model {self.model.name}"
+            )
+        # The KV policy follows the framework unless explicitly overridden;
+        # a paged KV spec on a contiguous-only framework is contradictory.
+        if self.kv_spec.paged and not self.framework.paged_kv:
+            object.__setattr__(self, "kv_spec", replace(self.kv_spec, paged=False))
+
+    @property
+    def num_devices(self) -> int:
+        return self.plan.num_devices
+
+    def memory_model(self) -> MemoryModel:
+        return MemoryModel(self.hardware, self.num_devices)
+
+    # ------------------------------------------------------------------
+
+    def with_kv_spec(self, kv_spec: KVCacheSpec) -> "Deployment":
+        return replace(self, kv_spec=kv_spec)
+
+    def with_plan(self, plan: ParallelismPlan) -> "Deployment":
+        return replace(self, plan=plan)
+
+    def with_quant(self, quant: QuantizationScheme) -> "Deployment":
+        return replace(self, quant=quant)
+
+
+def moe_expected_active_experts(config: ModelConfig, routed_tokens: int) -> float:
+    """Expected distinct experts hit per layer by ``routed_tokens`` tokens.
+
+    With top-k routing over n experts, a token misses a given expert with
+    probability (1 - k/n); ``routed_tokens`` independent tokens leave
+    ``n * (1 - k/n)^tokens`` experts cold.  At batch 1 Mixtral touches ~2
+    experts per layer (the paper's "equivalent to a 14B model"); at batch
+    16+ essentially all 8 are hot, so large-batch weight traffic grows.
+    """
+    if not config.is_moe:
+        return 1.0
+    if routed_tokens < 1:
+        raise ValueError(f"routed_tokens must be >= 1, got {routed_tokens}")
+    n = config.num_experts
+    k = config.experts_per_token
+    return n * (1.0 - (1.0 - k / n) ** routed_tokens)
+
+
+def step_weight_bytes(dep: Deployment, routed_tokens: int) -> float:
+    """Weight bytes streamed from memory in one forward pass.
+
+    Dense models stream every weight once.  MoE models stream attention
+    weights plus the *expected active* experts only.
+    """
+    config = dep.model
+    wbytes = dep.quant.weight_bytes_per_param()
+    if not config.is_moe:
+        return config.total_params * wbytes
+    attn_and_norms = sum(
+        config.attention_params_at(layer) + 2 * config.hidden_size
+        for layer in range(config.num_layers)
+    )
+    active_experts = moe_expected_active_experts(config, routed_tokens)
+    expert_params = (
+        config.num_layers * active_experts * config.ffn_params_per_expert
+    )
+    other = config.embedding_params + config.hidden_size
+    return (attn_and_norms + expert_params + other) * wbytes
+
+
+def forward_flops(
+    config: ModelConfig,
+    new_tokens: int,
+    mean_context: float,
+    lm_head_tokens: int,
+) -> float:
+    """FLOPs of one forward pass over ``new_tokens`` across the batch."""
+    total = 0.0
+    for layer in range(config.num_layers):
+        total += attention_linear_flops(config, layer, new_tokens)
+        total += attention_context_flops(config, new_tokens, mean_context)
+        total += ffn_flops(config, new_tokens)
+    total += lm_head_flops(config, lm_head_tokens)
+    return total
+
+
+def _memory_leg_bandwidth(dep: Deployment, step_bytes: float) -> float:
+    """Aggregate streaming bandwidth for this step's working set."""
+    mem = dep.memory_model()
+    return (
+        mem.effective_stream_bandwidth(step_bytes)
+        * dep.framework.bandwidth_quality
+    )
+
+
+def _roofline(
+    dep: Deployment,
+    flops: float,
+    mem_parts: dict[str, float],
+    gemm_rows: float,
+    batch_size: int,
+    comm_tokens: int,
+    phase: str,
+) -> LatencyBreakdown:
+    """Assemble one forward pass's latency breakdown."""
+    if phase not in ("prefill", "decode"):
+        raise ValueError(f"phase must be 'prefill' or 'decode', got {phase!r}")
+    spec = dep.hardware
+    fw = dep.framework
+    total_bytes = sum(mem_parts.values())
+
+    kernel_quality = fw.effective_kernel_quality(gemm_rows)
+    mfu = mfu_at_batch(spec, gemm_rows, kernel_quality)
+    rate = dep.quant.compute_rate_flops(spec) * dep.num_devices
+    t_compute = flops * dep.quant.compute_overhead(spec) / (rate * mfu)
+
+    bandwidth = _memory_leg_bandwidth(dep, total_bytes)
+    t_memory = total_bytes / bandwidth
+
+    # Partial compute/memory overlap (ideal roofline at overlap=1).
+    hi, lo = max(t_compute, t_memory), min(t_compute, t_memory)
+    t_kernels = hi + (1.0 - fw.overlap) * lo
+
+    # MoE expert dispatch runs at the framework's grouped-GEMM efficiency.
+    if dep.model.is_moe:
+        t_kernels /= fw.moe_efficiency
+
+    # Decode microbatches are tiny, so engines split a step into at most
+    # ~2 of them; prefill chunks pipeline deeply.
+    microbatch_limit = 2 if phase == "decode" else 4 * max(1, dep.plan.pp)
+
+    # Pipeline-parallel serialization (and llama.cpp's layer-split mode).
+    if fw.multi_gpu_style is MultiGpuStyle.LAYER_SPLIT and dep.num_devices > 1:
+        microbatches = min(batch_size, microbatch_limit)
+        stages = dep.num_devices
+        pf = (microbatches + stages - 1) / microbatches
+    else:
+        pf = pipeline_factor(dep.plan, batch_size, microbatch_limit)
+    t_kernels *= pf
+
+    # Expert-parallel load imbalance slows the compute path too: hot
+    # experts queue on their device while cold ones idle (Section IV-C3).
+    if dep.plan.ep > 1 and dep.model.is_moe:
+        t_kernels *= 1.0 + 0.15 * (1.0 - 1.0 / dep.plan.ep)
+
+    comm = comm_costs_per_forward(
+        dep.model, spec, fw, dep.plan, comm_tokens, dep.quant.activation_precision
+    )
+    # Per-step sampling over the logit vector, once per sequence.
+    sampling = (
+        dep.model.vocab_size
+        * batch_size
+        * fw.sampling_ns_per_vocab_token
+        * 1e-9
+    )
+    overhead = (
+        dep.model.num_layers * spec.layer_overhead_s
+        + spec.step_overhead_s * fw.host_overhead_factor
+        + fw.host_step_latency_s
+        + sampling
+    )
+
+    penalty = saturation_penalty(spec, batch_size)
+    total = (t_kernels + comm.total_s + overhead) * penalty
+
+    scale = total_bytes if total_bytes > 0 else 1.0
+    mem_time = {k: v / scale * t_memory for k, v in mem_parts.items()}
+    return LatencyBreakdown(
+        compute_s=t_compute,
+        weight_memory_s=mem_time.get("weights", 0.0),
+        kv_memory_s=mem_time.get("kv_read", 0.0) + mem_time.get("kv_write", 0.0),
+        activation_memory_s=mem_time.get("activations", 0.0),
+        communication_s=comm.total_s,
+        overhead_s=overhead,
+        total_s=total,
+    )
+
+
+def prefill_breakdown(
+    dep: Deployment, batch_size: int, input_tokens: int
+) -> LatencyBreakdown:
+    """Latency of prefilling ``batch_size`` prompts of ``input_tokens``.
+
+    Causal attention means the t-th prompt token attends ~t/2 positions on
+    average.  Only the final position's logits are needed, so the LM head
+    runs once per sequence.  The per-request pipeline-setup cost (SN40L) is
+    charged here, once per batch admission.
+    """
+    if batch_size < 1 or input_tokens < 1:
+        raise ValueError("batch_size and input_tokens must be >= 1")
+    config = dep.model
+    tokens = batch_size * input_tokens
+    mean_context = (input_tokens + 1) / 2.0
+
+    flops = forward_flops(config, tokens, mean_context, lm_head_tokens=batch_size)
+    kv_write = tokens * kv_bytes_per_token(config, dep.kv_spec.precision)
+    mem_parts = {
+        "weights": step_weight_bytes(dep, tokens),
+        "kv_write": kv_write if dep.kv_spec.enabled else 0.0,
+        "activations": tokens
+        * activation_bytes_per_token(config, dep.quant.activation_precision),
+    }
+    breakdown = _roofline(
+        dep,
+        flops,
+        mem_parts,
+        gemm_rows=float(tokens),
+        batch_size=batch_size,
+        comm_tokens=tokens,
+        phase="prefill",
+    )
+    if dep.hardware.request_setup_s > 0.0:
+        setup = dep.hardware.request_setup_s
+        breakdown = LatencyBreakdown(
+            compute_s=breakdown.compute_s,
+            weight_memory_s=breakdown.weight_memory_s,
+            kv_memory_s=breakdown.kv_memory_s,
+            activation_memory_s=breakdown.activation_memory_s,
+            communication_s=breakdown.communication_s,
+            overhead_s=breakdown.overhead_s + setup,
+            total_s=breakdown.total_s + setup,
+        )
+    return breakdown
+
+
+def decode_step_breakdown(
+    dep: Deployment, batch_size: int, context_length: int
+) -> LatencyBreakdown:
+    """Latency of one decode iteration: one new token per sequence.
+
+    With the KV cache enabled, each sequence reads its whole cached context
+    (scaled by the framework's GQA awareness and the paged-block overhead)
+    and writes one token.  With the cache *disabled* (Fig. 2a) the step
+    degenerates to a full re-prefill of the entire context.
+    """
+    if batch_size < 1 or context_length < 1:
+        raise ValueError("batch_size and context_length must be >= 1")
+    config = dep.model
+
+    if not dep.kv_spec.enabled:
+        # Recompute regime: every step reprocesses the full context.
+        tokens = batch_size * context_length
+        mean_context = (context_length + 1) / 2.0
+        flops = forward_flops(
+            config, tokens, mean_context, lm_head_tokens=batch_size
+        )
+        mem_parts = {
+            "weights": step_weight_bytes(dep, tokens),
+            "activations": tokens
+            * activation_bytes_per_token(config, dep.quant.activation_precision),
+        }
+        return _roofline(
+            dep,
+            flops,
+            mem_parts,
+            gemm_rows=float(tokens),
+            batch_size=batch_size,
+            comm_tokens=tokens,
+            phase="decode",
+        )
+
+    tokens = batch_size
+    flops = forward_flops(
+        config, tokens, float(context_length), lm_head_tokens=tokens
+    )
+    kv_tok = kv_bytes_per_token(config, dep.kv_spec.precision)
+    kv_read = (
+        batch_size
+        * context_length
+        * kv_tok
+        * kv_time_multiplier(config, dep.framework, dep.kv_spec)
+    )
+    mem_parts = {
+        "weights": step_weight_bytes(dep, tokens),
+        "kv_read": kv_read,
+        "kv_write": tokens * kv_tok,
+        "activations": tokens
+        * activation_bytes_per_token(config, dep.quant.activation_precision),
+    }
+    return _roofline(
+        dep,
+        flops,
+        mem_parts,
+        gemm_rows=float(tokens),
+        batch_size=batch_size,
+        comm_tokens=tokens,
+        phase="decode",
+    )

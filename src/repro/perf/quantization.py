@@ -1,0 +1,97 @@
+"""Quantized-execution model (paper Section IV-B3, Fig. 3).
+
+A :class:`QuantizationScheme` fixes the storage precision of weights and of
+the KV cache.  Effects on the roofline:
+
+* weight (and KV) *memory traffic* shrinks by the byte-width ratio on every
+  platform — this is why INT8 helps even on A100, which has no FP8 engine;
+* *compute rate* only improves where the hardware natively executes the
+  format (FP8 on H100/GH200/MI300X); elsewhere weights are dequantized
+  on the fly into 16-bit GEMMs, charged as a small compute overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import Precision, precision_spec
+from repro.frameworks.base import FrameworkProfile
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["QuantizationScheme", "FP16_SCHEME", "FP8_SCHEME", "INT8_SCHEME"]
+
+# Extra compute charged when the GEMM must dequantize weights on the fly.
+_DEQUANT_OVERHEAD = 1.08
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """Weight + KV-cache precision selection for a deployment."""
+
+    weight_precision: Precision = Precision.FP16
+    kv_precision: Precision = Precision.FP16
+    activation_precision: Precision = Precision.FP16
+
+    @property
+    def label(self) -> str:
+        if self.weight_precision == self.kv_precision == self.activation_precision:
+            return str(self.weight_precision)
+        return f"w{self.weight_precision}-kv{self.kv_precision}"
+
+    def weight_bytes_per_param(self) -> float:
+        return precision_spec(self.weight_precision).bytes_per_element
+
+    def validate_for(
+        self, spec: HardwareSpec, framework: FrameworkProfile
+    ) -> None:
+        """Reject schemes the software stack cannot run at all.
+
+        Note: *hardware* lacking native support is fine (dequant path);
+        the framework must merely implement the format.  The one hard
+        hardware gate from the paper is FP8 on pre-Hopper GPUs: "the
+        absence of FP8 support on A100 limits the framework's ability to
+        leverage low precision" — FP8 *storage* requires FP8 tensor-core
+        or conversion hardware, so we reject FP8 where unsupported.
+        """
+        for name, prec in (
+            ("weight", self.weight_precision),
+            ("kv", self.kv_precision),
+        ):
+            if not framework.supports_precision(prec):
+                raise ValueError(
+                    f"{framework.name} does not implement {prec} {name} precision"
+                )
+            if prec is Precision.FP8 and not spec.supports(Precision.FP8):
+                raise ValueError(f"{spec.name} has no FP8 support (paper Fig. 3)")
+
+    def compute_rate_flops(self, spec: HardwareSpec) -> float:
+        """Per-device peak FLOP/s under this scheme."""
+        return spec.peak_flops(self.activation_compute_precision(spec))
+
+    def activation_compute_precision(self, spec: HardwareSpec) -> Precision:
+        """Precision the GEMMs actually execute in on this hardware."""
+        if spec.supports(self.weight_precision):
+            return self.weight_precision
+        return Precision.FP16
+
+    def compute_overhead(self, spec: HardwareSpec) -> float:
+        """Multiplier on compute time for on-the-fly dequantization."""
+        w = precision_spec(self.weight_precision)
+        if w.bytes_per_element >= 2.0:
+            return 1.0
+        if spec.supports(self.weight_precision):
+            return 1.0
+        return _DEQUANT_OVERHEAD
+
+
+FP16_SCHEME = QuantizationScheme()
+FP8_SCHEME = QuantizationScheme(
+    weight_precision=Precision.FP8,
+    kv_precision=Precision.FP8,
+    activation_precision=Precision.FP8,
+)
+INT8_SCHEME = QuantizationScheme(
+    weight_precision=Precision.INT8,
+    kv_precision=Precision.FP16,
+    activation_precision=Precision.FP16,
+)

@@ -1,0 +1,45 @@
+"""Serving runtime: engine, schedulers, KV allocators, memory, traces."""
+
+from repro.runtime.engine import EngineResult, ServingEngine
+from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, run_load_test
+from repro.runtime.memory_manager import MemoryManager, OutOfMemoryError
+from repro.runtime.paged_kv import (
+    AllocationError,
+    ContiguousKVAllocator,
+    KVAllocator,
+    PagedKVAllocator,
+)
+from repro.runtime.scheduler import (
+    ContinuousBatchingScheduler,
+    Scheduler,
+    SchedulerStats,
+    StaticBatchingScheduler,
+)
+from repro.runtime.trace import (
+    TraceSummary,
+    blended_trace,
+    fixed_batch_trace,
+    poisson_trace,
+)
+
+__all__ = [
+    "EngineResult",
+    "LoadReport",
+    "ServiceLevelObjective",
+    "run_load_test",
+    "ServingEngine",
+    "MemoryManager",
+    "OutOfMemoryError",
+    "AllocationError",
+    "ContiguousKVAllocator",
+    "KVAllocator",
+    "PagedKVAllocator",
+    "ContinuousBatchingScheduler",
+    "Scheduler",
+    "SchedulerStats",
+    "StaticBatchingScheduler",
+    "TraceSummary",
+    "blended_trace",
+    "fixed_batch_trace",
+    "poisson_trace",
+]

@@ -1,0 +1,323 @@
+"""Discrete-event serving engine.
+
+The engine executes a request trace against a deployment the way a real
+serving stack iterates: admit -> prefill -> decode steps -> retire, with
+per-iteration costs supplied by the analytical phase model
+(:mod:`repro.perf.phases`).  It produces per-request TTFT/latency, the
+paper's aggregate metrics, and a power estimate integrated over phases.
+
+The engine and the closed-form :class:`~repro.perf.estimator
+.InferenceEstimator` are two views of the same model; tests cross-check
+them on the paper's fixed-shape workloads.
+
+Iteration coalescing: when every running sequence advances in lockstep and
+no admission can occur mid-span (the paper's fixed batches), the engine
+executes many decode steps as one span, evaluating the step cost at the
+span's mean context — exact for the affine-in-context step model and
+O(events) instead of O(tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import InferenceMetrics, LatencyBreakdown
+from repro.core.request import GenerationRequest, RequestState
+from repro.hardware.power import PowerModel
+from repro.perf.estimator import phase_utilization
+from repro.perf.phases import Deployment, decode_step_breakdown, prefill_breakdown
+from repro.runtime.memory_manager import MemoryManager, OutOfMemoryError
+from repro.runtime.scheduler import (
+    ContinuousBatchingScheduler,
+    Scheduler,
+    SchedulerStats,
+    StaticBatchingScheduler,
+)
+
+__all__ = ["EngineResult", "ServingEngine"]
+
+_MAX_ITERATIONS = 10_000_000
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run over a trace."""
+
+    requests: list[GenerationRequest]
+    total_time_s: float
+    iterations: int
+    decode_steps: int
+    average_power_w: float
+    scheduler_stats: SchedulerStats
+    oom: bool = False
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.input_tokens + r.generated_tokens for r in self.requests)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Eq. 2 aggregate: all (input + output) tokens over the makespan."""
+        if self.oom or self.total_time_s <= 0:
+            return 0.0
+        return self.total_tokens / self.total_time_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        done = [r for r in self.requests if r.first_token_time is not None]
+        if not done:
+            raise RuntimeError("no request produced a first token")
+        return sum(r.ttft_s for r in done) / len(done)
+
+    @property
+    def mean_itl_s(self) -> float:
+        """Mean inter-token gap over all decode intervals (Eq. 1 analogue)."""
+        total_gap = 0.0
+        intervals = 0
+        for r in self.requests:
+            if r.finish_time is None or r.first_token_time is None:
+                continue
+            if r.output_tokens > 1:
+                total_gap += r.finish_time - r.first_token_time
+                intervals += r.output_tokens - 1
+        if intervals == 0:
+            return 0.0
+        return total_gap / intervals
+
+    def to_metrics(self) -> InferenceMetrics:
+        """Collapse to the paper's record shape for uniform workloads."""
+        if self.oom:
+            first = self.requests[0]
+            return InferenceMetrics.out_of_memory(
+                len(self.requests), first.input_tokens, first.output_tokens
+            )
+        first = self.requests[0]
+        return InferenceMetrics(
+            batch_size=len(self.requests),
+            input_tokens=first.input_tokens,
+            output_tokens=first.output_tokens,
+            ttft_s=self.mean_ttft_s,
+            end_to_end_latency_s=self.total_time_s,
+            itl_s=self.mean_itl_s,
+            average_power_w=self.average_power_w,
+        )
+
+
+class ServingEngine:
+    """Simulates a serving stack for one deployment."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        max_concurrency: int | None = None,
+        coalesce: bool = True,
+        optimistic: bool = False,
+    ) -> None:
+        """``optimistic=True`` enables vLLM's real admission policy:
+        reserve only prompt blocks and preempt-and-recompute when the KV
+        pool runs dry mid-decode (requires a paged deployment)."""
+        if optimistic and not deployment.kv_spec.paged:
+            raise ValueError("optimistic admission requires a paged KV spec")
+        self.deployment = deployment
+        self.memory = MemoryManager(deployment)  # raises if weights don't fit
+        self.max_concurrency = max_concurrency or 1024
+        self.coalesce = coalesce
+        self.optimistic = optimistic
+        self._power = PowerModel(deployment.hardware, deployment.num_devices)
+
+    def _make_scheduler(self) -> Scheduler:
+        allocator = self.memory.build_allocator()
+        cls = (
+            ContinuousBatchingScheduler
+            if self.deployment.framework.continuous_batching
+            else StaticBatchingScheduler
+        )
+        return cls(allocator, self.max_concurrency, optimistic=self.optimistic)
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: list[GenerationRequest]) -> EngineResult:
+        """Execute a trace to completion; raises OutOfMemoryError only when
+        a request can never fit even on an idle engine."""
+        if not trace:
+            raise ValueError("trace is empty")
+        scheduler = self._make_scheduler()
+        for request in sorted(trace, key=lambda r: r.arrival_time):
+            scheduler.submit(request)
+
+        now = 0.0
+        iterations = 0
+        decode_steps = 0
+        energy_j = 0.0
+
+        while scheduler.has_work:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise RuntimeError("engine exceeded the iteration safeguard")
+
+            admitted = scheduler.admit(now)
+            if admitted:
+                decoding = [
+                    r
+                    for r in scheduler.running
+                    if r not in admitted
+                    and r.state == RequestState.DECODING
+                    and r.generated_tokens < r.output_tokens
+                ]
+                now, energy_j = self._run_prefill(admitted, decoding, now, energy_j)
+                scheduler.retire_finished()  # output_tokens == 1 requests
+                continue
+
+            running = scheduler.running
+            if not running:
+                next_arrival = min(r.arrival_time for r in scheduler.waiting)
+                if next_arrival > now:
+                    # Idle until the next request arrives.
+                    energy_j += (next_arrival - now) * self._power.group_power_w(0.0)
+                    now = next_arrival
+                    continue
+                raise OutOfMemoryError(
+                    "a queued request cannot fit even on an idle engine "
+                    f"({self.deployment.hardware.name} x"
+                    f"{self.deployment.num_devices})"
+                )
+
+            steps = self._coalesced_steps(scheduler, now)
+            now, energy_j = self._run_decode_span(
+                scheduler, running, steps, now, energy_j
+            )
+            decode_steps += steps
+            scheduler.retire_finished()
+
+        return EngineResult(
+            requests=list(trace),
+            total_time_s=now,
+            iterations=iterations,
+            decode_steps=decode_steps,
+            average_power_w=(energy_j / now if now > 0 else 0.0),
+            scheduler_stats=scheduler.stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_prefill(
+        self,
+        admitted: list[GenerationRequest],
+        decoding: list[GenerationRequest],
+        now: float,
+        energy_j: float,
+    ) -> tuple[float, float]:
+        """Prefill newly admitted prompts.
+
+        With chunked prefill (vLLM chunked prefill / DS-MII Dynamic
+        SplitFuse / TRT-LLM in-flight batching), the prompt is processed
+        in chunks and already-decoding streams advance one token per
+        chunk instead of stalling for the whole prefill — the mechanism
+        behind those frameworks' smoother tail ITL under load.
+        """
+        batch = len(admitted)
+        # Preempted requests re-prefill their full context (recompute).
+        max_input = max(r.prefill_tokens_needed for r in admitted)
+        fw = self.deployment.framework
+        chunks = 1
+        if fw.chunked_prefill and decoding:
+            per_chunk_len = max(1, fw.prefill_chunk_tokens // max(1, batch))
+            chunks = -(-max_input // per_chunk_len)
+        chunk_len = -(-max_input // chunks)
+
+        for chunk in range(chunks):
+            breakdown = prefill_breakdown(self.deployment, batch, chunk_len)
+            energy_j += breakdown.total_s * self._phase_power(breakdown)
+            now += breakdown.total_s
+            # Decoding streams ride along with the chunk (their token is
+            # folded into the fused chunk's batch at negligible marginal
+            # cost — the SplitFuse effect).
+            for request in decoding:
+                if request.generated_tokens < request.output_tokens:
+                    request.record_token(now)
+        for request in admitted:
+            if request.generated_tokens == 0:
+                request.record_token(now)  # prefill emits the first token
+            else:
+                # A preempted request resumed: the re-prefill recreated its
+                # KV state; its next token comes from the next decode step.
+                request.state = RequestState.DECODING
+        return now, energy_j
+
+    def _coalesced_steps(self, scheduler: Scheduler, now: float) -> int:
+        """How many decode steps can run before the running set changes."""
+        running = scheduler.running
+        min_remaining = min(r.output_tokens - r.generated_tokens for r in running)
+        if min_remaining <= 1 or not self.coalesce:
+            return 1
+        # An admission opportunity mid-span would change the batch: only
+        # coalesce when nothing is waiting (arrived or future).
+        if scheduler.waiting:
+            return 1
+        return min_remaining
+
+    def _run_decode_span(
+        self,
+        scheduler: Scheduler,
+        running: list[GenerationRequest],
+        steps: int,
+        now: float,
+        energy_j: float,
+    ) -> tuple[float, float]:
+        batch = len(running)
+        mean_ctx = sum(r.context_length for r in running) / batch
+        # Context at the span's midpoint (contexts grow one token per step).
+        span_ctx = max(1, round(mean_ctx + (steps - 1) / 2.0))
+        step_bd = decode_step_breakdown(self.deployment, batch, span_ctx)
+        span_bd = step_bd.scaled(float(steps))
+        energy_j += span_bd.total_s * self._phase_power(step_bd)
+        active = list(running)
+        for i in range(steps):
+            token_time = now + step_bd.total_s * (i + 1)
+            for request in list(active):
+                if request not in active:
+                    continue  # preempted earlier within this step
+                if self.optimistic:
+                    self._append_or_preempt(scheduler, active, request)
+                request.record_token(token_time)
+        return now + span_bd.total_s, energy_j
+
+    def _append_or_preempt(
+        self,
+        scheduler: Scheduler,
+        active: list[GenerationRequest],
+        request: GenerationRequest,
+    ) -> None:
+        """Grow ``request``'s KV by one token, evicting newer requests
+        (recompute preemption) until the pool has room."""
+        from repro.runtime.paged_kv import AllocationError
+
+        while True:
+            try:
+                scheduler.allocator.append_token(request.request_id)
+                return
+            except AllocationError:
+                victim = self._choose_victim(scheduler, request)
+                if victim is None:
+                    raise OutOfMemoryError(
+                        f"request {request.request_id} cannot grow and no "
+                        "victim remains to preempt"
+                    )
+                scheduler.preempt(victim)
+                if victim in active:
+                    active.remove(victim)
+
+    @staticmethod
+    def _choose_victim(
+        scheduler: Scheduler, protect: GenerationRequest
+    ) -> GenerationRequest | None:
+        """Newest running request other than ``protect`` (vLLM evicts the
+        most recently admitted sequence first)."""
+        for candidate in reversed(scheduler.running):
+            if candidate is not protect and not candidate.is_finished:
+                return candidate
+        return None
+
+    def _phase_power(self, breakdown: LatencyBreakdown) -> float:
+        util = phase_utilization(breakdown, self.deployment.framework.power_intensity)
+        return self._power.group_power_w(util)

@@ -1,0 +1,178 @@
+"""Online-serving load generation and SLO accounting.
+
+The paper's Section VII frames deployment choices around chat SLOs: rapid
+first token (TTFT) and smooth streaming (ITL).  This module runs an
+open-loop arrival process through the serving engine and reports the
+operator-facing statistics the paper's dashboard targets: latency
+percentiles, goodput (requests meeting the SLO per second), and sustained
+token throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.request import GenerationRequest
+from repro.perf.phases import Deployment
+from repro.runtime.engine import ServingEngine
+from repro.runtime.trace import blended_trace, poisson_trace
+
+__all__ = [
+    "ServiceLevelObjective",
+    "LoadReport",
+    "run_load_test",
+    "find_max_sustainable_rate",
+]
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """Per-request latency targets (chat defaults per Section VII-2)."""
+
+    ttft_s: float = 1.5
+    itl_s: float = 1.0 / 12.0  # >= 12 streamed tokens/s
+
+    def __post_init__(self) -> None:
+        if self.ttft_s <= 0 or self.itl_s <= 0:
+            raise ValueError("SLO bounds must be positive")
+
+    def met_by(self, request: GenerationRequest) -> bool:
+        if request.first_token_time is None or request.finish_time is None:
+            return False
+        if request.ttft_s > self.ttft_s:
+            return False
+        if request.output_tokens > 1:
+            itl = (request.finish_time - request.first_token_time) / (
+                request.output_tokens - 1
+            )
+            if itl > self.itl_s:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate statistics of one load-test run."""
+
+    offered_rate_rps: float
+    completed_requests: int
+    makespan_s: float
+    throughput_tokens_per_s: float
+    ttft_p50_s: float
+    ttft_p95_s: float
+    ttft_p99_s: float
+    itl_mean_s: float
+    slo_attainment: float  # fraction of requests meeting the SLO
+    goodput_rps: float  # SLO-meeting requests per second
+    average_power_w: float
+
+    def render(self) -> str:
+        return (
+            f"offered {self.offered_rate_rps:.2f} req/s | "
+            f"goodput {self.goodput_rps:.2f} req/s "
+            f"({self.slo_attainment:.0%} SLO) | "
+            f"TTFT p50/p95/p99 {self.ttft_p50_s:.2f}/{self.ttft_p95_s:.2f}/"
+            f"{self.ttft_p99_s:.2f}s | ITL {self.itl_mean_s * 1e3:.1f}ms | "
+            f"{self.throughput_tokens_per_s:,.0f} tok/s | "
+            f"{self.average_power_w:,.0f} W"
+        )
+
+
+def run_load_test(
+    deployment: Deployment,
+    rate_rps: float,
+    num_requests: int = 64,
+    mean_input_tokens: int = 512,
+    mean_output_tokens: int = 256,
+    max_concurrency: int = 32,
+    slo: ServiceLevelObjective | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive Poisson arrivals with blended lengths through the engine."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    slo = slo or ServiceLevelObjective()
+
+    arrivals = poisson_trace(num_requests, rate_rps, 1, 1, seed=seed)
+    shaped = blended_trace(
+        num_requests, mean_input_tokens, mean_output_tokens, seed=seed
+    )
+    trace: list[GenerationRequest] = []
+    for arrival, request in zip(arrivals, shaped):
+        request.arrival_time = arrival.arrival_time
+        trace.append(request)
+
+    engine = ServingEngine(deployment, max_concurrency=max_concurrency)
+    result = engine.run(trace)
+
+    ttfts = np.array(sorted(r.ttft_s for r in result.requests))
+    met = sum(1 for r in result.requests if slo.met_by(r))
+    return LoadReport(
+        offered_rate_rps=rate_rps,
+        completed_requests=len(result.requests),
+        makespan_s=result.total_time_s,
+        throughput_tokens_per_s=result.throughput_tokens_per_s,
+        ttft_p50_s=float(np.percentile(ttfts, 50)),
+        ttft_p95_s=float(np.percentile(ttfts, 95)),
+        ttft_p99_s=float(np.percentile(ttfts, 99)),
+        itl_mean_s=result.mean_itl_s,
+        slo_attainment=met / len(result.requests),
+        goodput_rps=met / result.total_time_s if result.total_time_s > 0 else 0.0,
+        average_power_w=result.average_power_w,
+    )
+
+
+def find_max_sustainable_rate(
+    deployment: Deployment,
+    slo: ServiceLevelObjective | None = None,
+    attainment_target: float = 0.95,
+    num_requests: int = 48,
+    max_rate_rps: float = 64.0,
+    tolerance_rps: float = 0.25,
+    seed: int = 0,
+    **workload_kwargs: int,
+) -> tuple[float, LoadReport]:
+    """Capacity search: the highest offered rate meeting the SLO.
+
+    Bisects the offered Poisson rate until the SLO-attainment fraction
+    crosses ``attainment_target`` — the operator question ("how many
+    requests per second can this deployment absorb?") the paper's
+    dashboard is built to answer.  Returns (rate, report at that rate).
+    """
+    if not 0 < attainment_target <= 1:
+        raise ValueError("attainment_target must be in (0, 1]")
+    if max_rate_rps <= tolerance_rps:
+        raise ValueError("max_rate_rps must exceed tolerance_rps")
+    slo = slo or ServiceLevelObjective()
+
+    def attainment(rate: float) -> LoadReport:
+        return run_load_test(
+            deployment,
+            rate_rps=rate,
+            num_requests=num_requests,
+            slo=slo,
+            seed=seed,
+            **workload_kwargs,
+        )
+
+    lo, hi = tolerance_rps, max_rate_rps
+    lo_report = attainment(lo)
+    if lo_report.slo_attainment < attainment_target:
+        return 0.0, lo_report  # even the lightest probe misses the SLO
+    hi_report = attainment(hi)
+    if hi_report.slo_attainment >= attainment_target:
+        return hi, hi_report  # never saturates within the probe range
+    best_rate, best_report = lo, lo_report
+    while hi - lo > tolerance_rps:
+        mid = (lo + hi) / 2
+        report = attainment(mid)
+        if report.slo_attainment >= attainment_target:
+            best_rate, best_report = mid, report
+            lo = mid
+        else:
+            hi = mid
+    return best_rate, best_report

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.parallelism import ParallelismPlan
+from repro.perf.phases import Deployment
+
+
+@pytest.fixture
+def llama3_8b():
+    return get_model("LLaMA-3-8B")
+
+
+@pytest.fixture
+def llama2_7b():
+    return get_model("LLaMA-2-7B")
+
+
+@pytest.fixture
+def mixtral():
+    return get_model("Mixtral-8x7B")
+
+
+@pytest.fixture
+def a100():
+    return get_hardware("A100")
+
+
+@pytest.fixture
+def h100():
+    return get_hardware("H100")
+
+
+@pytest.fixture
+def vllm():
+    return get_framework("vLLM")
+
+
+@pytest.fixture
+def trtllm():
+    return get_framework("TRT-LLM")
+
+
+@pytest.fixture
+def basic_deployment(llama3_8b, a100, vllm):
+    """LLaMA-3-8B on one A100 under vLLM — the suite's workhorse."""
+    return Deployment(llama3_8b, a100, vllm)
+
+
+@pytest.fixture
+def basic_estimator(basic_deployment):
+    return InferenceEstimator(basic_deployment)
+
+
+@pytest.fixture
+def small_config():
+    return GenerationConfig(input_tokens=128, output_tokens=128, batch_size=1)
+
+
+@pytest.fixture
+def node_plan():
+    return ParallelismPlan(tp=4)

@@ -1,0 +1,72 @@
+"""Tests for attention-kernel cost modifiers."""
+
+import pytest
+
+from repro.frameworks.base import get_framework
+from repro.models.kvcache import KVCacheSpec
+from repro.models.zoo import get_model
+from repro.perf.attention import (
+    gqa_read_multiplier,
+    kv_time_multiplier,
+    paged_block_multiplier,
+)
+
+
+class TestGQAReadMultiplier:
+    def test_aware_framework_no_penalty(self):
+        assert gqa_read_multiplier(get_model("LLaMA-3-8B"), get_framework("vLLM")) == 1.0
+
+    def test_mhsa_model_never_penalized(self):
+        assert (
+            gqa_read_multiplier(get_model("LLaMA-2-7B"), get_framework("llama.cpp"))
+            == 1.0
+        )
+
+    def test_penalty_capped_at_group_size(self):
+        """A GQA-oblivious kernel can at worst behave like MHSA."""
+        model = get_model("LLaMA-3-8B")  # group = 32/8 = 4
+        cpp = get_framework("llama.cpp")  # penalty 4.0
+        assert gqa_read_multiplier(model, cpp) == pytest.approx(4.0)
+        qwen = get_model("Qwen2-7B")  # group = 28/4 = 7 > 4
+        assert gqa_read_multiplier(qwen, cpp) == pytest.approx(4.0)
+
+    def test_dsmii_partial_penalty(self):
+        model = get_model("LLaMA-3-8B")
+        ds = get_framework("DeepSpeed-MII")
+        assert 1.0 < gqa_read_multiplier(model, ds) <= 4.0
+
+
+class TestPagedBlockMultiplier:
+    def test_unpaged_is_one(self):
+        assert paged_block_multiplier(KVCacheSpec(paged=False)) == 1.0
+
+    def test_monotone_decreasing_in_block_size(self):
+        values = [
+            paged_block_multiplier(KVCacheSpec(block_size=b))
+            for b in (1, 2, 4, 8, 16, 32, 128)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_sixteen_and_up_near_optimal(self):
+        """Paper Fig. 2b: any block size >= 16 is optimal."""
+        p16 = paged_block_multiplier(KVCacheSpec(block_size=16))
+        p128 = paged_block_multiplier(KVCacheSpec(block_size=128))
+        assert p16 / p128 < 1.08
+
+    def test_block8_meaningfully_worse_than_16(self):
+        p8 = paged_block_multiplier(KVCacheSpec(block_size=8))
+        p16 = paged_block_multiplier(KVCacheSpec(block_size=16))
+        assert p8 / p16 > 1.2
+
+    def test_block1_catastrophic(self):
+        assert paged_block_multiplier(KVCacheSpec(block_size=1)) > 10.0
+
+
+class TestCombined:
+    def test_product_of_both(self):
+        model = get_model("LLaMA-3-8B")
+        fw = get_framework("DeepSpeed-MII")
+        spec = KVCacheSpec(block_size=8)
+        assert kv_time_multiplier(model, fw, spec) == pytest.approx(
+            gqa_read_multiplier(model, fw) * paged_block_multiplier(spec)
+        )

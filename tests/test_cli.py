@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_point_defaults(self):
+        args = build_parser().parse_args(
+            ["point", "--model", "m", "--hardware", "h", "--framework", "f"]
+        )
+        assert args.batch_size == 1
+        assert args.input_tokens == 1024
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "LLaMA-3-8B" in out
+        assert "SN40L" in out
+        assert "vLLM" in out
+        assert "fig1a" in out
+
+    def test_point(self, capsys):
+        code = main(
+            [
+                "point",
+                "--model", "LLaMA-3-8B",
+                "--hardware", "A100",
+                "--framework", "vLLM",
+                "--batch-size", "4",
+                "--input-tokens", "128",
+                "--output-tokens", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "TTFT" in out
+
+    def test_point_oom_exit_code(self, capsys):
+        code = main(
+            [
+                "point",
+                "--model", "LLaMA-2-70B",
+                "--hardware", "A100",
+                "--framework", "llama.cpp",
+            ]
+        )
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "config_mismatches" in out
+
+    def test_run_with_table(self, capsys):
+        assert main(["run", "tab2", "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "memory_gb" in out
+
+    def test_dashboard(self, tmp_path, capsys):
+        target = tmp_path / "dash.html"
+        assert main(["dashboard", "--output", str(target)]) == 0
+        assert target.exists()
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--output", str(target)]) == 0
+        content = target.read_text(encoding="utf-8")
+        assert content.startswith("# EXPERIMENTS")
+        assert "fig1a" in content
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_bottleneck(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--model", "LLaMA-2-7B",
+                "--hardware", "A100",
+                "--framework", "vLLM",
+                "--batch-size", "32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "decode" in out
+
+    def test_analyze_oom_exit_code(self, capsys):
+        # llama.cpp's runtime buffers push 70B past the A100 node (Fig. 32).
+        code = main(
+            [
+                "analyze",
+                "--model", "LLaMA-2-70B",
+                "--hardware", "A100",
+                "--framework", "llama.cpp",
+            ]
+        )
+        assert code == 1
+        assert "cannot analyze" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_passes(self, capsys):
+        code = main(["validate", "--points", "4", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "validated 4 points" in out

@@ -1,0 +1,83 @@
+"""Repository-consistency tests: docs, registries and benches stay in sync."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import EXPERIMENTS
+from repro.frameworks.base import FRAMEWORK_REGISTRY
+from repro.hardware.zoo import HARDWARE_ZOO
+from repro.models.zoo import PRIMARY_MODELS, get_model
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (REPO / "DESIGN.md").read_text(encoding="utf-8")
+
+    def test_every_experiment_is_indexed(self, design):
+        """DESIGN.md's per-experiment index covers the registry."""
+        missing = [eid for eid in EXPERIMENTS if f"| {eid} " not in design]
+        assert not missing, f"experiments missing from DESIGN.md: {missing}"
+
+    def test_every_hardware_platform_mentioned(self, design):
+        for spec in HARDWARE_ZOO.values():
+            assert spec.name in design
+
+    def test_title_collision_check_present(self, design):
+        assert "title collision" in design
+
+
+class TestBenchCoverage:
+    def test_every_paper_experiment_has_a_bench(self):
+        """Each fig/tab experiment id appears in some benchmarks/ file."""
+        bench_text = "".join(
+            p.read_text(encoding="utf-8")
+            for p in (REPO / "benchmarks").glob("test_*.py")
+        )
+        missing = [
+            eid for eid in EXPERIMENTS if f'"{eid}"' not in bench_text
+        ]
+        assert not missing, f"experiments without a bench: {missing}"
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO / "README.md").read_text(encoding="utf-8")
+
+    def test_examples_listed_exist(self, readme):
+        for line in readme.splitlines():
+            if line.startswith("| `") and line.endswith("|") and ".py" in line:
+                name = line.split("`")[1]
+                assert (REPO / "examples" / name).exists(), name
+
+    def test_all_frameworks_mentioned(self, readme):
+        for fw in FRAMEWORK_REGISTRY.values():
+            assert fw.name.replace("DeepSpeed-MII", "DS-MII") in readme or (
+                fw.name in readme
+            )
+
+
+class TestRegistryHygiene:
+    def test_primary_models_cover_paper_families(self):
+        families = {"llama-2", "llama-3", "mistral", "mixtral", "qwen2"}
+        joined = " ".join(PRIMARY_MODELS).lower()
+        for family in families:
+            assert family in joined
+
+    def test_no_model_has_absurd_params(self):
+        for name in PRIMARY_MODELS:
+            params = get_model(name).total_params
+            assert 1e9 < params < 100e9
+
+    def test_every_experiment_has_section_reference(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.section, exp.id
+            assert exp.title, exp.id
+
+    def test_docs_exist(self):
+        for doc in ("modeling.md", "calibration.md", "extending.md", "runtime.md"):
+            assert (REPO / "docs" / doc).exists()

@@ -1,0 +1,55 @@
+"""Tests for the HTML dashboard generator."""
+
+import json
+import re
+
+import pytest
+
+from repro.bench import BenchmarkRunner
+from repro.bench.report import run_all
+from repro.dashboard import dashboard_html, write_dashboard
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all(BenchmarkRunner(), ids=["tab1", "fig17"])
+
+
+class TestDashboardHtml:
+    def test_is_self_contained_html(self, results):
+        page = dashboard_html(results)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script src=" not in page  # no external resources
+        assert "http://" not in page and "https://" not in page
+
+    def test_embeds_experiment_data(self, results):
+        page = dashboard_html(results)
+        assert "tab1" in page
+        assert "fig17" in page
+        assert "MI250" in page
+
+    def test_embedded_json_parses(self, results):
+        page = dashboard_html(results)
+        match = re.search(r"const DATA = (\{.*?\});\n", page, re.DOTALL)
+        assert match, "DATA blob not found"
+        data = json.loads(match.group(1))
+        assert set(data) == {"tab1", "fig17"}
+        assert data["fig17"]["records"]
+
+    def test_claims_carried_with_paper_values(self, results):
+        page = dashboard_html(results)
+        match = re.search(r"const DATA = (\{.*?\});\n", page, re.DOTALL)
+        data = json.loads(match.group(1))
+        claims = data["fig17"]["claims"]
+        assert any(c["paper"] is not None for c in claims)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no results"):
+            dashboard_html([])
+
+
+class TestWriteDashboard:
+    def test_writes_file(self, results, tmp_path):
+        path = write_dashboard(results, tmp_path / "dash.html")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

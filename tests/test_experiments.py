@@ -1,0 +1,72 @@
+"""Tests for the experiment registry and a smoke run of every entry."""
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    BenchmarkRunner,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.bench.experiments import ExperimentResult, register_experiment
+from repro.core.results import ResultTable
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        """One experiment per table/figure in the evaluation."""
+        expected = {
+            "fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4a", "fig4b",
+            "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+            "fig25", "fig29", "fig30", "fig31", "fig32", "fig33", "fig34",
+            "fig35", "fig36", "fig37", "fig38", "tab1", "tab2", "tab3",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_lookup(self):
+        exp = get_experiment("fig1a")
+        assert "batch" in exp.title.lower()
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            get_experiment("fig99")
+
+    def test_list_by_tag(self):
+        assert "fig17" in list_experiments(tag="mi250")
+        assert "fig1a" not in list_experiments(tag="mi250")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_experiment("fig1a", "dup", "nowhere")
+            def dup(runner):  # pragma: no cover
+                return ExperimentResult("fig1a", "dup", ResultTable())
+
+
+class TestExperimentResult:
+    def test_claim_recording(self):
+        result = ExperimentResult("x", "t", ResultTable())
+        result.claim("ratio", 1.5, paper=1.4)
+        result.claim("observed_only", 2.0)
+        assert result.measured == {"ratio": 1.5, "observed_only": 2.0}
+        assert result.paper == {"ratio": 1.4}
+
+    def test_render_mentions_paper_values(self):
+        result = ExperimentResult("x", "title", ResultTable())
+        result.claim("ratio", 1.5, paper=1.4)
+        text = result.render()
+        assert "1.5" in text and "1.4" in text
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_claims(experiment_id):
+    """Every registered experiment executes and produces data + claims."""
+    result = run_experiment(experiment_id, BenchmarkRunner())
+    assert result.experiment_id == experiment_id
+    assert len(result.table) > 0
+    assert result.measured, f"{experiment_id} recorded no headline quantities"
+    for name, value in result.measured.items():
+        assert value == value, f"{experiment_id}.{name} is NaN"  # noqa: PLR0124
+        assert value >= 0.0, f"{experiment_id}.{name} is negative"

@@ -1,0 +1,62 @@
+"""Tests for CSV/JSON artifact export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import BenchmarkRunner
+from repro.bench.experiments import ExperimentResult
+from repro.bench.export import export_bundle, export_csv
+from repro.bench.report import run_all
+from repro.core.results import ResultTable
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all(BenchmarkRunner(), ids=["tab1", "fig17"])
+
+
+class TestExportCsv:
+    def test_writes_all_rows(self, results, tmp_path):
+        fig17 = next(r for r in results if r.experiment_id == "fig17")
+        path = export_csv(fig17, tmp_path / "fig17.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(fig17.table)
+        assert "throughput_tokens_per_s" in rows[0]
+
+    def test_union_of_columns(self, tmp_path):
+        result = ExperimentResult("x", "t", ResultTable("x"))
+        result.table.add({"a": 1}, {"v": 1.0})
+        result.table.add({"a": 2, "b": 3}, {"v": 2.0})
+        path = export_csv(result, tmp_path / "x.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert set(rows[0]) == {"a", "b", "v"}
+        assert rows[0]["b"] == ""
+
+    def test_rejects_empty_table(self, tmp_path):
+        result = ExperimentResult("x", "t", ResultTable("x"))
+        with pytest.raises(ValueError, match="no rows"):
+            export_csv(result, tmp_path / "x.csv")
+
+
+class TestExportBundle:
+    def test_writes_manifest_and_csvs(self, results, tmp_path):
+        index = export_bundle(results, tmp_path / "bundle")
+        manifest = json.loads(index.read_text())
+        assert set(manifest) == {"tab1", "fig17"}
+        for eid, entry in manifest.items():
+            assert (tmp_path / "bundle" / entry["csv"]).exists()
+            assert entry["claims"]
+
+    def test_manifest_carries_paper_values(self, results, tmp_path):
+        index = export_bundle(results, tmp_path / "bundle2")
+        manifest = json.loads(index.read_text())
+        claims = manifest["fig17"]["claims"]
+        assert any(c["paper"] is not None for c in claims)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_bundle([], tmp_path)

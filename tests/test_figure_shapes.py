@@ -1,0 +1,150 @@
+"""Structural (shape) tests on experiment result tables.
+
+Beyond the headline-ratio claims, the *curves* in each figure have
+characteristic shapes: monotone batch scaling on Nvidia, a knee on MI250,
+complete grids, OOM flags exactly where the paper reports them.  These
+tests pin those shapes so a model regression that preserves one ratio but
+bends a curve still fails.
+"""
+
+import pytest
+
+from repro.bench import BenchmarkRunner, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchmarkRunner()
+
+
+def _table(experiment_id, runner):
+    return run_experiment(experiment_id, runner).table
+
+
+class TestFig1aShape:
+    def test_grid_is_complete(self, runner):
+        table = _table("fig1a", runner)
+        assert len(table) == 4 * 5  # batches x lengths
+
+    def test_throughput_monotone_in_batch_per_length(self, runner):
+        table = _table("fig1a", runner)
+        for length in table.unique("input_tokens"):
+            series = [
+                table.single(
+                    "throughput_tokens_per_s", batch_size=bs, input_tokens=length
+                )
+                for bs in (1, 16, 32, 64)
+            ]
+            assert series == sorted(series), f"non-monotone at length {length}"
+
+    def test_throughput_decreases_with_length_at_fixed_batch(self, runner):
+        table = _table("fig1a", runner)
+        series = [
+            table.single(
+                "throughput_tokens_per_s", batch_size=64, input_tokens=length
+            )
+            for length in (128, 256, 512, 1024, 2048)
+        ]
+        assert series == sorted(series, reverse=True)
+
+
+class TestFig1bShape:
+    def test_output_length_dominates(self, runner):
+        """Every column: throughput falls as output grows; every row:
+        throughput rises as input grows (paper Section IV-A2)."""
+        table = _table("fig1b", runner)
+        lengths = (128, 256, 512, 1024)
+        for inp in lengths:
+            col = [
+                table.single(
+                    "throughput_tokens_per_s", input_tokens=inp, output_tokens=out
+                )
+                for out in lengths
+            ]
+            assert col == sorted(col, reverse=True)
+        for out in lengths:
+            row = [
+                table.single(
+                    "throughput_tokens_per_s", input_tokens=inp, output_tokens=out
+                )
+                for inp in lengths
+            ]
+            assert row == sorted(row)
+
+
+class TestFig2bShape:
+    def test_block_curve_rises_then_flattens(self, runner):
+        table = _table("fig2b", runner)
+        series = [
+            table.single("throughput_tokens_per_s", block_size=b, batch_size=64)
+            for b in (1, 2, 4, 8, 16)
+        ]
+        assert series == sorted(series)
+        flat = [
+            table.single("throughput_tokens_per_s", block_size=b, batch_size=64)
+            for b in (16, 32, 64, 128)
+        ]
+        assert max(flat) / min(flat) < 1.1
+
+
+class TestFig17Shape:
+    def test_mi250_knee_at_every_length(self, runner):
+        """Throughput rises to batch 32 and falls at 64 for long lengths."""
+        table = _table("fig17", runner)
+        for length in (512, 1024, 2048):
+            t32 = table.single(
+                "throughput_tokens_per_s", batch_size=32, input_tokens=length
+            )
+            t64 = table.single(
+                "throughput_tokens_per_s", batch_size=64, input_tokens=length
+            )
+            t16 = table.single(
+                "throughput_tokens_per_s", batch_size=16, input_tokens=length
+            )
+            assert t32 > t16
+            assert t64 < t32
+
+
+class TestFig20Shape:
+    def test_gaudi2_oom_pattern(self, runner):
+        """OOM exactly at the large-batch MHSA points, nowhere on GPUs."""
+        table = _table("fig20", runner)
+        for rec in table:
+            oom = rec.values["oom"] == 1.0
+            if rec.keys["hardware"] in ("A100", "H100"):
+                assert not oom
+            if oom:
+                assert rec.keys["hardware"] == "Gaudi2"
+                assert rec.keys["batch_size"] >= 32
+
+
+class TestFig24Shape:
+    def test_sn40l_rises_then_falls(self, runner):
+        table = _table("fig24", runner)
+        series = [
+            table.single(
+                "throughput_tokens_per_s", hardware="SN40L", input_tokens=length
+            )
+            for length in (128, 512, 1024, 2048)
+        ]
+        peak_index = series.index(max(series))
+        assert 0 < peak_index < 3  # interior peak: rise then fall
+
+    def test_gpus_fall_monotonically(self, runner):
+        table = _table("fig24", runner)
+        for hw in ("A100", "H100"):
+            series = [
+                table.single(
+                    "throughput_tokens_per_s", hardware=hw, input_tokens=length
+                )
+                for length in (128, 512, 1024, 2048)
+            ]
+            assert series == sorted(series, reverse=True)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("experiment_id", ["fig1a", "fig17", "fig10"])
+    def test_experiments_are_deterministic(self, experiment_id, runner):
+        a = run_experiment(experiment_id, runner)
+        b = run_experiment(experiment_id, runner)
+        assert a.measured == b.measured

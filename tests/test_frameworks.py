@@ -1,0 +1,144 @@
+"""Tests for framework profiles and their paper-documented behaviours."""
+
+import pytest
+
+from repro.core.precision import Precision
+from repro.frameworks.base import (
+    FRAMEWORK_REGISTRY,
+    FrameworkProfile,
+    MultiGpuStyle,
+    get_framework,
+    list_frameworks,
+)
+
+
+class TestRegistry:
+    def test_five_frameworks(self):
+        assert len(FRAMEWORK_REGISTRY) == 5
+
+    def test_lookup_case_insensitive(self):
+        assert get_framework("vllm").name == "vLLM"
+        assert get_framework("TRT-llm").name == "TRT-LLM"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="known frameworks"):
+            get_framework("sglang")
+
+    def test_list(self):
+        assert set(list_frameworks()) == {
+            "vLLM",
+            "TRT-LLM",
+            "DeepSpeed-MII",
+            "llama.cpp",
+            "SambaFlow",
+        }
+
+
+class TestPaperBehaviours:
+    def test_trtllm_has_best_kernel_quality(self):
+        trt = get_framework("TRT-LLM").kernel_quality
+        for name in ("vLLM", "DeepSpeed-MII", "llama.cpp"):
+            assert trt > get_framework(name).kernel_quality
+
+    def test_llamacpp_is_weakest(self):
+        cpp = get_framework("llama.cpp")
+        for name in ("vLLM", "TRT-LLM", "DeepSpeed-MII"):
+            assert cpp.kernel_quality < get_framework(name).kernel_quality
+
+    def test_gqa_awareness_split(self):
+        """Paper Section VII-1: TRT-LLM/vLLM exploit GQA; DS-MII and
+        llama.cpp do not."""
+        assert get_framework("vLLM").gqa_kv_penalty == 1.0
+        assert get_framework("TRT-LLM").gqa_kv_penalty == 1.0
+        assert get_framework("DeepSpeed-MII").gqa_kv_penalty > 1.5
+        assert get_framework("llama.cpp").gqa_kv_penalty > 1.5
+
+    def test_batching_styles(self):
+        assert get_framework("vLLM").continuous_batching
+        assert get_framework("TRT-LLM").continuous_batching
+        assert not get_framework("llama.cpp").continuous_batching
+
+    def test_llamacpp_layer_split(self):
+        assert (
+            get_framework("llama.cpp").multi_gpu_style is MultiGpuStyle.LAYER_SPLIT
+        )
+        assert get_framework("vLLM").multi_gpu_style is MultiGpuStyle.TENSOR_PARALLEL
+
+    def test_paged_kv_split(self):
+        assert get_framework("vLLM").paged_kv
+        assert not get_framework("llama.cpp").paged_kv
+        assert not get_framework("SambaFlow").paged_kv
+
+    def test_trtllm_drives_hardware_hardest(self):
+        """Fig. 16: TRT-LLM consumes more power than vLLM."""
+        assert (
+            get_framework("TRT-LLM").power_intensity
+            > get_framework("vLLM").power_intensity
+        )
+
+    def test_dsmii_large_batch_bonus(self):
+        assert get_framework("DeepSpeed-MII").large_batch_bonus > 0
+
+    def test_llamacpp_host_sampling_cost(self):
+        """Fig. 36 mechanism: host-side sampling over the logit vector."""
+        cpp = get_framework("llama.cpp").sampling_ns_per_vocab_token
+        for name in ("vLLM", "TRT-LLM", "DeepSpeed-MII"):
+            assert cpp > 10 * get_framework(name).sampling_ns_per_vocab_token
+
+
+class TestHardwareSpecialization:
+    def test_gaudi2_forces_static_contiguous(self):
+        vllm = get_framework("vLLM").on_hardware("Gaudi2")
+        assert not vllm.paged_kv
+        assert not vllm.continuous_batching
+
+    def test_nvidia_keeps_paged(self):
+        assert get_framework("vLLM").on_hardware("A100").paged_kv
+
+    def test_unsupported_hardware_raises(self):
+        with pytest.raises(ValueError, match="Table III"):
+            get_framework("TRT-LLM").on_hardware("MI250")
+
+    def test_supports_hardware_case_insensitive(self):
+        assert get_framework("vLLM").supports_hardware("a100")
+
+
+class TestPrecisionSupport:
+    def test_sambaflow_16_bit_equivalence(self):
+        """SambaFlow lists BF16; FP16 requests must be servable."""
+        sf = get_framework("SambaFlow")
+        assert sf.supports_precision(Precision.FP16)
+        assert sf.supports_precision(Precision.BF16)
+
+    def test_dsmii_has_no_fp8(self):
+        assert not get_framework("DeepSpeed-MII").supports_precision(Precision.FP8)
+
+    def test_effective_kernel_quality_bonus(self):
+        ds = get_framework("DeepSpeed-MII")
+        assert ds.effective_kernel_quality(100000) > ds.effective_kernel_quality(1)
+
+    def test_effective_kernel_quality_rejects_zero(self):
+        with pytest.raises(ValueError):
+            get_framework("vLLM").effective_kernel_quality(0)
+
+
+class TestValidation:
+    def test_requires_some_hardware(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FrameworkProfile(name="x", supported_hardware=frozenset())
+
+    def test_rejects_sub_one_gqa_penalty(self):
+        with pytest.raises(ValueError, match="gqa_kv_penalty"):
+            FrameworkProfile(
+                name="x",
+                supported_hardware=frozenset({"A100"}),
+                gqa_kv_penalty=0.5,
+            )
+
+    def test_rejects_bad_memory_overhead(self):
+        with pytest.raises(ValueError, match="memory_overhead_factor"):
+            FrameworkProfile(
+                name="x",
+                supported_hardware=frozenset({"A100"}),
+                memory_overhead_factor=0.9,
+            )

@@ -1,0 +1,100 @@
+"""Tests for the hardware registry against the paper's Table II."""
+
+import pytest
+
+from repro.core.precision import Precision
+from repro.hardware.spec import GB
+from repro.hardware.zoo import HARDWARE_ZOO, get_hardware, list_hardware
+
+
+class TestTableII:
+    @pytest.mark.parametrize(
+        "name, devices, memory_gb",
+        [
+            ("A100", 4, 40),
+            ("H100", 4, 80),
+            ("GH200", 1, 96),
+            ("MI250", 4, 128),
+            ("MI300X", 8, 192),
+            ("Gaudi2", 8, 96),
+            ("SN40L", 8, 64),
+        ],
+    )
+    def test_devices_and_memory(self, name, devices, memory_gb):
+        spec = get_hardware(name)
+        assert spec.devices_per_node == devices
+        assert spec.memory_per_device_bytes == memory_gb * GB
+
+    def test_fp8_support_per_table(self):
+        """Table II: H100/GH200/MI300X/Gaudi2 list FP8; A100/MI250 do not."""
+        for name in ("H100", "GH200", "MI300X", "Gaudi2"):
+            assert get_hardware(name).supports(Precision.FP8)
+        for name in ("A100", "MI250", "SN40L"):
+            assert not get_hardware(name).supports(Precision.FP8)
+
+    def test_peak_flops_ordering(self):
+        """Datasheet FP16 rates: MI300X > H100 = GH200 > SN40L > Gaudi2 >
+        MI250 > A100."""
+        rates = {n: get_hardware(n).peak_fp16_tflops for n in list_hardware()}
+        assert rates["MI300X"] > rates["H100"] == rates["GH200"]
+        assert rates["H100"] > rates["SN40L"] > rates["Gaudi2"]
+        assert rates["Gaudi2"] > rates["MI250"] > rates["A100"]
+
+    def test_bandwidth_ordering(self):
+        """HBM bandwidth: MI300X > GH200 > H100 > MI250 > Gaudi2 > A100."""
+        bw = {n: get_hardware(n).memory_bandwidth_bytes_s for n in list_hardware()}
+        assert bw["MI300X"] > bw["GH200"] > bw["H100"]
+        assert bw["MI250"] > bw["Gaudi2"] > bw["A100"]
+
+
+class TestBehaviouralKnobs:
+    def test_mi250_has_saturation_knee_at_32(self):
+        spec = get_hardware("MI250")
+        assert spec.saturation_batch == 32
+        assert spec.saturation_slope > 0
+
+    def test_nvidia_gpus_have_no_saturation(self):
+        for name in ("A100", "H100", "GH200"):
+            assert get_hardware(name).saturation_batch is None
+
+    def test_sn40l_three_tier_memory(self):
+        spec = get_hardware("SN40L")
+        assert spec.sram_tier is not None
+        assert spec.ddr_tier is not None
+        assert spec.sram_tier.bandwidth_bytes_s > spec.memory_bandwidth_bytes_s
+        assert spec.ddr_tier.bandwidth_bytes_s < spec.memory_bandwidth_bytes_s
+
+    def test_sn40l_request_setup_cost(self):
+        """The high-TTFT signature (Fig. 21)."""
+        assert get_hardware("SN40L").request_setup_s > 0
+        for name in ("A100", "H100", "Gaudi2", "MI250"):
+            assert get_hardware(name).request_setup_s == 0.0
+
+    def test_gaudi2_workspace_overhead_is_largest(self):
+        gaudi = get_hardware("Gaudi2").workspace_overhead_factor
+        for name in ("A100", "H100", "MI250", "SN40L"):
+            assert gaudi > get_hardware(name).workspace_overhead_factor
+
+    def test_gh200_has_grace_spill_tier(self):
+        spec = get_hardware("GH200")
+        assert spec.ddr_tier is not None
+        assert spec.ddr_tier.capacity_bytes == 480 * GB
+
+    def test_amd_oob_efficiency_below_nvidia(self):
+        """Paper footnote 1: AMD numbers are out-of-the-box."""
+        assert get_hardware("MI250").mfu_ceiling < get_hardware("A100").mfu_ceiling
+        assert (
+            get_hardware("MI300X").mfu_ceiling < get_hardware("H100").mfu_ceiling
+        )
+
+
+class TestRegistry:
+    def test_seven_platforms(self):
+        assert len(HARDWARE_ZOO) == 7
+
+    def test_case_insensitive_lookup(self):
+        assert get_hardware("gh200").name == "GH200"
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="known platforms"):
+            get_hardware("TPUv5")

@@ -1,0 +1,73 @@
+"""Tests for collective-communication cost models."""
+
+import pytest
+
+from repro.hardware.interconnect import (
+    all_to_all_time,
+    allgather_time,
+    allreduce_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+from repro.hardware.spec import InterconnectSpec
+
+LINK = InterconnectSpec("test", bandwidth_gb_s=100.0, latency_us=1.0)
+
+
+class TestAllreduce:
+    def test_single_device_is_free(self):
+        assert allreduce_time(LINK, 1e9, 1) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert allreduce_time(LINK, 0.0, 8) == 0.0
+
+    def test_ring_volume_factor(self):
+        # 2(n-1)/n of the message crosses the wire.
+        t = allreduce_time(LINK, 1e9, 4)
+        expected_volume = 2 * 3 / 4 * 1e9 / 100e9
+        expected_latency = 6 * 1e-6
+        assert t == pytest.approx(expected_volume + expected_latency)
+
+    def test_volume_term_saturates_with_devices(self):
+        # As n grows the volume factor approaches 2x the message.
+        big_n = allreduce_time(LINK, 1e12, 64)
+        assert big_n == pytest.approx(2 * 1e12 / 100e9, rel=0.05)
+
+    def test_latency_grows_with_devices(self):
+        t2 = allreduce_time(LINK, 1.0, 2)
+        t8 = allreduce_time(LINK, 1.0, 8)
+        assert t8 > t2
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            allreduce_time(LINK, -1.0, 2)
+
+
+class TestOtherCollectives:
+    def test_allgather_half_of_allreduce_volume(self):
+        big = 1e12  # latency negligible
+        ag = allgather_time(LINK, big, 4)
+        ar = allreduce_time(LINK, big, 4)
+        assert ar == pytest.approx(2 * ag, rel=0.01)
+
+    def test_reduce_scatter_equals_allgather(self):
+        assert reduce_scatter_time(LINK, 1e9, 4) == allgather_time(LINK, 1e9, 4)
+
+    def test_all_to_all_keeps_own_shard(self):
+        t = all_to_all_time(LINK, 1e12, 4)
+        assert t == pytest.approx(3 / 4 * 1e12 / 100e9, rel=0.01)
+
+    def test_all_to_all_single_device_free(self):
+        assert all_to_all_time(LINK, 1e9, 1) == 0.0
+
+
+class TestP2P:
+    def test_bandwidth_plus_latency(self):
+        assert p2p_time(LINK, 1e9) == pytest.approx(1e9 / 100e9 + 1e-6)
+
+    def test_zero_bytes_free(self):
+        assert p2p_time(LINK, 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            p2p_time(LINK, -1.0)

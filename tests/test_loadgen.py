@@ -1,0 +1,144 @@
+"""Tests for the online load generator and SLO accounting."""
+
+import pytest
+
+from repro.core.request import GenerationRequest
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.phases import Deployment
+from repro.runtime.loadgen import (
+    LoadReport,
+    ServiceLevelObjective,
+    run_load_test,
+)
+
+
+def _dep(fw="vLLM") -> Deployment:
+    return Deployment(
+        get_model("Mistral-7B"), get_hardware("A100"), get_framework(fw)
+    )
+
+
+class TestServiceLevelObjective:
+    def _request(self, ttft: float, total: float, out: int = 10):
+        req = GenerationRequest(100, out, arrival_time=0.0)
+        req.first_token_time = ttft
+        req.finish_time = total
+        req.generated_tokens = out
+        return req
+
+    def test_met_when_within_bounds(self):
+        slo = ServiceLevelObjective(ttft_s=1.0, itl_s=0.1)
+        assert slo.met_by(self._request(ttft=0.5, total=1.0))
+
+    def test_ttft_violation(self):
+        slo = ServiceLevelObjective(ttft_s=1.0, itl_s=10.0)
+        assert not slo.met_by(self._request(ttft=2.0, total=3.0))
+
+    def test_itl_violation(self):
+        slo = ServiceLevelObjective(ttft_s=10.0, itl_s=0.01)
+        # 9 intervals over 9 seconds = 1 s ITL >> 10 ms.
+        assert not slo.met_by(self._request(ttft=0.5, total=9.5))
+
+    def test_unfinished_request_fails(self):
+        slo = ServiceLevelObjective()
+        req = GenerationRequest(100, 10)
+        assert not slo.met_by(req)
+
+    def test_single_token_only_checks_ttft(self):
+        slo = ServiceLevelObjective(ttft_s=1.0, itl_s=0.0001)
+        assert slo.met_by(self._request(ttft=0.5, total=0.5, out=1))
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            ServiceLevelObjective(ttft_s=0.0)
+
+
+class TestRunLoadTest:
+    def test_report_shape(self):
+        report = run_load_test(_dep(), rate_rps=2.0, num_requests=16, seed=0)
+        assert isinstance(report, LoadReport)
+        assert report.completed_requests == 16
+        assert report.throughput_tokens_per_s > 0
+        assert 0.0 <= report.slo_attainment <= 1.0
+        assert report.ttft_p50_s <= report.ttft_p95_s <= report.ttft_p99_s
+
+    def test_deterministic_per_seed(self):
+        a = run_load_test(_dep(), 2.0, num_requests=12, seed=3)
+        b = run_load_test(_dep(), 2.0, num_requests=12, seed=3)
+        assert a.makespan_s == b.makespan_s
+        assert a.goodput_rps == b.goodput_rps
+
+    def test_overload_inflates_tail_latency(self):
+        light = run_load_test(_dep(), 0.25, num_requests=16, seed=1)
+        heavy = run_load_test(_dep(), 16.0, num_requests=16, seed=1)
+        assert heavy.ttft_p95_s > light.ttft_p95_s
+
+    def test_goodput_bounded_by_completion_rate(self):
+        report = run_load_test(_dep(), 4.0, num_requests=16, seed=2)
+        assert report.goodput_rps <= report.completed_requests / report.makespan_s
+
+    def test_render_contains_key_numbers(self):
+        report = run_load_test(_dep(), 1.0, num_requests=8, seed=0)
+        text = report.render()
+        assert "goodput" in text and "TTFT" in text
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_load_test(_dep(), 0.0)
+        with pytest.raises(ValueError):
+            run_load_test(_dep(), 1.0, num_requests=0)
+
+
+class TestChunkedPrefillUnderLoad:
+    def test_chunked_prefill_smooths_running_streams(self):
+        """With chunked prefill (vLLM), decoding streams keep emitting
+        while a long prompt prefils; llama.cpp-style static batching
+        (no chunking) shows a worse tail."""
+        chunked = run_load_test(
+            _dep("vLLM"), 4.0, num_requests=24, mean_input_tokens=1024, seed=5
+        )
+        static = run_load_test(
+            _dep("llama.cpp"), 4.0, num_requests=24, mean_input_tokens=1024, seed=5
+        )
+        assert chunked.ttft_p95_s < static.ttft_p95_s
+        assert chunked.goodput_rps >= static.goodput_rps
+
+
+class TestCapacitySearch:
+    def test_finds_positive_rate_for_capable_deployment(self):
+        from repro.runtime.loadgen import find_max_sustainable_rate
+
+        rate, report = find_max_sustainable_rate(
+            _dep(), num_requests=16, max_rate_rps=16.0, tolerance_rps=1.0, seed=2
+        )
+        assert rate > 0
+        assert report.slo_attainment >= 0.95
+
+    def test_strict_slo_lowers_capacity(self):
+        from repro.runtime.loadgen import (
+            ServiceLevelObjective,
+            find_max_sustainable_rate,
+        )
+
+        loose, _ = find_max_sustainable_rate(
+            _dep(), num_requests=16, max_rate_rps=16.0, tolerance_rps=1.0, seed=2
+        )
+        strict, _ = find_max_sustainable_rate(
+            _dep(),
+            slo=ServiceLevelObjective(ttft_s=0.05, itl_s=0.005),
+            num_requests=16,
+            max_rate_rps=16.0,
+            tolerance_rps=1.0,
+            seed=2,
+        )
+        assert strict <= loose
+
+    def test_validates_args(self):
+        from repro.runtime.loadgen import find_max_sustainable_rate
+
+        with pytest.raises(ValueError):
+            find_max_sustainable_rate(_dep(), attainment_target=0.0)
+        with pytest.raises(ValueError):
+            find_max_sustainable_rate(_dep(), max_rate_rps=0.1, tolerance_rps=0.25)

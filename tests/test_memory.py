@@ -1,0 +1,99 @@
+"""Tests for the memory-system model (capacity + tiered bandwidth)."""
+
+import pytest
+
+from repro.hardware.memory import MemoryFootprint, MemoryModel
+from repro.hardware.spec import GB
+from repro.hardware.zoo import get_hardware
+
+
+class TestMemoryFootprint:
+    def test_total(self):
+        fp = MemoryFootprint(1.0, 2.0, 3.0)
+        assert fp.total_bytes == 6.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryFootprint(-1.0, 0.0, 0.0)
+
+
+class TestCapacity:
+    def test_usable_scales_with_devices(self, a100):
+        one = MemoryModel(a100, 1).usable_bytes
+        four = MemoryModel(a100, 4).usable_bytes
+        assert four == pytest.approx(4 * one)
+
+    def test_rejects_too_many_devices(self, a100):
+        with pytest.raises(ValueError, match="devices"):
+            MemoryModel(a100, 5)
+
+    def test_fits(self, a100):
+        mem = MemoryModel(a100, 1)
+        assert mem.fits(MemoryFootprint(10 * GB, 10 * GB, 1 * GB))
+        assert not mem.fits(MemoryFootprint(50 * GB, 0.0, 0.0))
+
+    def test_kv_budget_never_negative(self, a100):
+        mem = MemoryModel(a100, 1)
+        assert mem.kv_budget_bytes(1000 * GB, 0.0) == 0.0
+
+    def test_max_concurrent_sequences(self, a100):
+        mem = MemoryModel(a100, 1)
+        budget = mem.kv_budget_bytes(20 * GB, 0.0)
+        per_seq = 1 * GB
+        assert mem.max_concurrent_sequences(20 * GB, per_seq) == int(
+            budget // per_seq
+        )
+
+    def test_max_concurrent_includes_workspace(self, a100):
+        mem = MemoryModel(a100, 1)
+        without = mem.max_concurrent_sequences(20 * GB, 1 * GB)
+        with_ws = mem.max_concurrent_sequences(20 * GB, 1 * GB, 1 * GB)
+        assert with_ws <= without // 2 + 1
+
+    def test_max_concurrent_rejects_zero_kv(self, a100):
+        with pytest.raises(ValueError):
+            MemoryModel(a100, 1).max_concurrent_sequences(0.0, 0.0)
+
+    def test_gh200_capacity_includes_grace(self):
+        gh200 = MemoryModel(get_hardware("GH200"), 1)
+        # Usable capacity well beyond the 96 GB HBM: Grace LPDDR5X counts.
+        assert gh200.usable_bytes > 200 * GB
+        assert gh200.hbm_bytes < 100 * GB
+
+
+class TestTieredBandwidth:
+    def test_flat_gpu_bandwidth_is_constant(self, a100):
+        mem = MemoryModel(a100, 1)
+        small = mem.effective_stream_bandwidth(1 * GB)
+        large = mem.effective_stream_bandwidth(30 * GB)
+        assert small == pytest.approx(large)
+        assert small == pytest.approx(a100.effective_bandwidth_bytes_s)
+
+    def test_bandwidth_aggregates_over_devices(self, a100):
+        one = MemoryModel(a100, 1).effective_stream_bandwidth(8 * GB)
+        four = MemoryModel(a100, 4).effective_stream_bandwidth(8 * GB)
+        assert four == pytest.approx(4 * one)
+
+    def test_sn40l_small_working_set_hits_sram(self):
+        sn40l = MemoryModel(get_hardware("SN40L"), 8)
+        spec = get_hardware("SN40L")
+        tiny = sn40l.effective_stream_bandwidth(8 * 100 * 1024**2)  # < SRAM
+        assert tiny > 5 * spec.effective_bandwidth_bytes_s * 8
+
+    def test_sn40l_bandwidth_decreases_with_working_set(self):
+        sn40l = MemoryModel(get_hardware("SN40L"), 8)
+        sizes = [1 * GB, 16 * GB, 256 * GB, 1024 * GB]
+        bws = [sn40l.effective_stream_bandwidth(s) for s in sizes]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_gh200_spill_degrades_to_lpddr(self):
+        gh200 = MemoryModel(get_hardware("GH200"), 1)
+        in_hbm = gh200.effective_stream_bandwidth(50 * GB)
+        spilled = gh200.effective_stream_bandwidth(400 * GB)
+        assert spilled < in_hbm
+        # Deep spill approaches the LPDDR5X rate from above.
+        assert spilled > 500e9
+
+    def test_rejects_zero_working_set(self, a100):
+        with pytest.raises(ValueError):
+            MemoryModel(a100, 1).effective_stream_bandwidth(0.0)

@@ -1,0 +1,139 @@
+"""Tests for the paper's metric definitions (Eq. 1, Eq. 2, perf/watt)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    InferenceMetrics,
+    LatencyBreakdown,
+    inter_token_latency,
+    perf_per_watt,
+    throughput_tokens_per_s,
+)
+
+
+class TestInterTokenLatency:
+    def test_equation_one(self):
+        # ITL = (E2E - TTFT) / (B * (out - 1))
+        assert inter_token_latency(11.0, 1.0, 2, 6) == pytest.approx(1.0)
+
+    def test_single_output_token_is_zero(self):
+        assert inter_token_latency(1.0, 1.0, 4, 1) == 0.0
+
+    def test_batch_divides_itl(self):
+        single = inter_token_latency(10.0, 1.0, 1, 10)
+        batched = inter_token_latency(10.0, 1.0, 8, 10)
+        assert batched == pytest.approx(single / 8)
+
+    def test_rejects_e2e_below_ttft(self):
+        with pytest.raises(ValueError, match="end-to-end"):
+            inter_token_latency(0.5, 1.0, 1, 2)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            inter_token_latency(2.0, 1.0, 0, 2)
+
+    def test_rejects_bad_output(self):
+        with pytest.raises(ValueError, match="output_tokens"):
+            inter_token_latency(2.0, 1.0, 1, 0)
+
+
+class TestThroughput:
+    def test_equation_two(self):
+        # throughput = B * (in + out) / E2E
+        assert throughput_tokens_per_s(4, 100, 100, 2.0) == pytest.approx(400.0)
+
+    def test_counts_input_and_output(self):
+        in_only = throughput_tokens_per_s(1, 200, 0, 1.0)
+        out_only = throughput_tokens_per_s(1, 0, 200, 1.0)
+        assert in_only == out_only == pytest.approx(200.0)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            throughput_tokens_per_s(1, 1, 1, 0.0)
+
+    def test_rejects_negative_tokens(self):
+        with pytest.raises(ValueError, match="token counts"):
+            throughput_tokens_per_s(1, -1, 1, 1.0)
+
+
+class TestPerfPerWatt:
+    def test_basic_ratio(self):
+        assert perf_per_watt(1000.0, 400.0) == pytest.approx(2.5)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError, match="power"):
+            perf_per_watt(1000.0, 0.0)
+
+
+class TestLatencyBreakdown:
+    def test_rejects_negative_bucket(self):
+        with pytest.raises(ValueError, match="compute_s"):
+            LatencyBreakdown(compute_s=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(total_s=float("nan"))
+
+    def test_scaled_multiplies_every_bucket(self):
+        bd = LatencyBreakdown(
+            compute_s=1.0, weight_memory_s=2.0, kv_memory_s=3.0, total_s=6.0
+        )
+        scaled = bd.scaled(2.0)
+        assert scaled.compute_s == 2.0
+        assert scaled.weight_memory_s == 4.0
+        assert scaled.kv_memory_s == 6.0
+        assert scaled.total_s == 12.0
+
+    def test_addition_is_bucketwise(self):
+        a = LatencyBreakdown(compute_s=1.0, total_s=1.0)
+        b = LatencyBreakdown(compute_s=2.0, overhead_s=0.5, total_s=2.5)
+        c = a + b
+        assert c.compute_s == 3.0
+        assert c.overhead_s == 0.5
+        assert c.total_s == 3.5
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            LatencyBreakdown().scaled(-1.0)
+
+
+class TestInferenceMetrics:
+    def test_derives_itl_and_throughput(self):
+        m = InferenceMetrics(
+            batch_size=2,
+            input_tokens=100,
+            output_tokens=101,
+            ttft_s=1.0,
+            end_to_end_latency_s=11.0,
+        )
+        assert m.itl_s == pytest.approx(10.0 / (2 * 100))
+        assert m.throughput_tokens_per_s == pytest.approx(2 * 201 / 11.0)
+
+    def test_derives_perf_per_watt_when_power_given(self):
+        m = InferenceMetrics(
+            batch_size=1,
+            input_tokens=10,
+            output_tokens=10,
+            ttft_s=0.1,
+            end_to_end_latency_s=1.0,
+            average_power_w=100.0,
+        )
+        assert m.perf_per_watt == pytest.approx(m.throughput_tokens_per_s / 100.0)
+
+    def test_oom_sentinel(self):
+        m = InferenceMetrics.out_of_memory(64, 1024, 1024)
+        assert m.oom
+        assert m.throughput_tokens_per_s == 0.0
+        assert math.isinf(m.end_to_end_latency_s)
+
+    def test_single_token_output_keeps_zero_itl(self):
+        m = InferenceMetrics(
+            batch_size=1,
+            input_tokens=10,
+            output_tokens=1,
+            ttft_s=0.5,
+            end_to_end_latency_s=0.5,
+        )
+        assert m.itl_s == 0.0

@@ -1,0 +1,47 @@
+"""Tests for the per-model architecture report."""
+
+import pytest
+
+from repro.models.report import model_report
+from repro.models.zoo import get_model
+
+
+class TestModelReport:
+    def test_shares_sum_below_one(self):
+        report = model_report(get_model("LLaMA-3-8B"))
+        total = (
+            report.attention_share + report.ffn_share + report.embedding_share
+        )
+        assert 0.98 < total <= 1.0  # norms make up the remainder
+
+    def test_mhsa_attention_share_larger(self):
+        """Section VII-3: LLaMA-2-7B has a 'larger attention size (MHSA)'."""
+        mhsa = model_report(get_model("LLaMA-2-7B"))
+        gqa = model_report(get_model("Mistral-7B"))
+        assert mhsa.attention_share > gqa.attention_share
+
+    def test_llama3_embedding_share_larger(self):
+        """The 128K vocabulary shows up as embedding share."""
+        l3 = model_report(get_model("LLaMA-3-8B"))
+        mistral = model_report(get_model("Mistral-7B"))
+        assert l3.embedding_share > 2 * mistral.embedding_share
+
+    def test_moe_ffn_dominates(self):
+        report = model_report(get_model("Mixtral-8x7B"))
+        assert report.ffn_share > 0.8
+
+    def test_decode_flops_track_active_params(self):
+        report = model_report(get_model("Mixtral-8x7B"))
+        # ~2 FLOPs per active parameter plus attention-context work.
+        assert report.decode_flops_per_token == pytest.approx(
+            2 * report.active_params, rel=0.35
+        )
+
+    def test_prefill_flops_exceed_decode_at_long_context(self):
+        report = model_report(get_model("LLaMA-2-70B"))
+        assert report.prefill_flops_per_token_at_4k > 0
+
+    def test_render_mentions_name_and_params(self):
+        text = model_report(get_model("Qwen2-7B")).render()
+        assert "Qwen2-7B" in text
+        assert "KiB/token" in text

@@ -1,0 +1,135 @@
+"""Tests for the model registry against the paper's Table I."""
+
+import pytest
+
+from repro.models.config import AttentionType, FFNType
+from repro.models.zoo import (
+    DECILM_KV_HEADS,
+    MODEL_ZOO,
+    PERPLEXITY_ZOO,
+    PRIMARY_MODELS,
+    SEVEN_B_MODELS,
+    SEVENTY_B_MODELS,
+    get_model,
+    list_models,
+    register_model,
+)
+
+
+class TestTableI:
+    """Every value in Table I, verbatim."""
+
+    @pytest.mark.parametrize(
+        "name, layers, hidden, attn, heads, kv, ffn, experts, inter, maxseq, vocab",
+        [
+            ("LLaMA-2-7B", 32, 4096, "mhsa", 32, 32, "dense", 1, 11008, 4096, 32000),
+            ("LLaMA-3-8B", 32, 4096, "gqa", 32, 8, "dense", 1, 14336, 8192, 128256),
+            ("Mistral-7B", 32, 4096, "gqa", 32, 8, "dense", 1, 14336, 32768, 32000),
+            ("Qwen2-7B", 28, 3584, "gqa", 28, 4, "dense", 1, 18944, 131072, 152064),
+            ("LLaMA-2-70B", 80, 8192, "gqa", 64, 8, "dense", 1, 28672, 4096, 32000),
+            ("LLaMA-3-70B", 80, 8192, "gqa", 64, 8, "dense", 1, 28672, 8192, 128256),
+            ("Qwen2-72B", 80, 8192, "gqa", 64, 8, "dense", 1, 29568, 131072, 152064),
+            ("Mixtral-8x7B", 32, 4096, "gqa", 32, 8, "moe", 8, 14336, 32768, 32000),
+        ],
+    )
+    def test_configuration(
+        self, name, layers, hidden, attn, heads, kv, ffn, experts, inter, maxseq, vocab
+    ):
+        cfg = get_model(name)
+        assert cfg.num_layers == layers
+        assert cfg.hidden_size == hidden
+        assert cfg.attention_type == AttentionType(attn)
+        assert cfg.num_attention_heads == heads
+        assert cfg.num_kv_heads == kv
+        assert cfg.ffn_type == FFNType(ffn)
+        assert cfg.num_experts == experts
+        assert cfg.ffn_intermediate_size == inter
+        assert cfg.max_sequence_length == maxseq
+        assert cfg.vocab_size == vocab
+
+
+class TestParameterCounts:
+    """Published parameter counts, within 2%."""
+
+    @pytest.mark.parametrize(
+        "name, billions",
+        [
+            ("LLaMA-2-7B", 6.74),
+            ("LLaMA-3-8B", 8.03),
+            ("Mistral-7B", 7.24),
+            ("Qwen2-7B", 7.62),
+            ("LLaMA-2-70B", 69.0),
+            ("LLaMA-3-70B", 70.6),
+            ("Qwen2-72B", 72.7),
+            ("Mixtral-8x7B", 46.7),
+        ],
+    )
+    def test_total_params(self, name, billions):
+        cfg = get_model(name)
+        assert cfg.total_params / 1e9 == pytest.approx(billions, rel=0.02)
+
+    def test_mixtral_active_is_14b_class(self):
+        """Paper: 'The Mixtral model is equivalent to a 14B model'."""
+        active = get_model("Mixtral-8x7B").active_params / 1e9
+        assert 11.0 < active < 15.0
+
+    def test_paper_kv_head_counts(self):
+        """Paper Section IV-B4: LLaMA-3-8B/Mistral have 256 KV heads,
+        DeciLM-7B has 67."""
+        assert get_model("LLaMA-3-8B").total_kv_heads == 256
+        assert get_model("Mistral-7B").total_kv_heads == 256
+        assert get_model("DeciLM-7B").total_kv_heads == 67
+
+    def test_decilm_pool(self):
+        assert set(DECILM_KV_HEADS) <= {1, 2, 4}
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_model("llama-3-8b").name == "LLaMA-3-8B"
+
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("GPT-5")
+
+    def test_groups_are_registered(self):
+        for name in PRIMARY_MODELS + PERPLEXITY_ZOO:
+            assert get_model(name) is not None
+
+    def test_seven_b_models_are_small(self):
+        for name in SEVEN_B_MODELS:
+            assert get_model(name).total_params < 10e9
+
+    def test_seventy_b_models_are_large(self):
+        for name in SEVENTY_B_MODELS:
+            assert get_model(name).total_params > 60e9
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model(get_model("LLaMA-2-7B"))
+
+    def test_list_models_matches_zoo(self):
+        assert len(list_models()) == len(MODEL_ZOO)
+
+
+class TestQwenMoE:
+    """Qwen2-57B-A14B, the appendix's second MoE architecture."""
+
+    def test_published_sizes(self):
+        cfg = get_model("Qwen2-57B-A14B")
+        assert cfg.total_params / 1e9 == pytest.approx(57.4, rel=0.02)
+        # ~14B active (the shared expert folded into effective top-k).
+        assert 11.0 < cfg.active_params / 1e9 < 15.0
+
+    def test_fine_grained_expert_pool(self):
+        cfg = get_model("Qwen2-57B-A14B")
+        assert cfg.num_experts == 64
+        assert cfg.is_moe
+
+    def test_kv_cache_is_tiny(self):
+        """28 layers x 4 KV heads: smaller cache than any dense 7B."""
+        from repro.models.kvcache import kv_bytes_per_token
+
+        assert kv_bytes_per_token(get_model("Qwen2-57B-A14B")) < (
+            kv_bytes_per_token(get_model("Mistral-7B"))
+        )

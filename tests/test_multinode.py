@@ -1,0 +1,116 @@
+"""Tests for the multi-node scaling extension."""
+
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.multinode import INFINIBAND_NDR, ClusterDeployment
+
+
+def _cluster(nodes=2, model="LLaMA-3-70B", hw="H100", **kwargs):
+    return ClusterDeployment(
+        get_model(model), get_hardware(hw), get_framework("vLLM"),
+        num_nodes=nodes, **kwargs,
+    )
+
+
+CONFIG = GenerationConfig(1024, 1024, 64)
+
+
+class TestConstruction:
+    def test_defaults_to_whole_node_tp(self):
+        cluster = _cluster(nodes=2)
+        assert cluster.tp_per_node == 4
+        assert cluster.total_devices == 8
+
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError):
+            _cluster(nodes=0)
+
+    def test_rejects_more_nodes_than_layers(self):
+        with pytest.raises(ValueError, match="layers"):
+            ClusterDeployment(
+                get_model("LLaMA-68M"), get_hardware("H100"),
+                get_framework("vLLM"), num_nodes=4,
+            )
+
+    def test_stage_slices_layers_evenly(self):
+        cluster = _cluster(nodes=4)
+        assert cluster._stage_model().num_layers == 20
+
+    def test_infiniband_constants(self):
+        assert INFINIBAND_NDR.bandwidth_gb_s == 50.0
+
+
+class TestScalingBehaviour:
+    def test_single_node_matches_intra_node_estimator(self):
+        """One node = the ordinary single-node deployment."""
+        from repro.perf.estimator import InferenceEstimator
+        from repro.perf.parallelism import ParallelismPlan
+        from repro.perf.phases import Deployment
+
+        cluster = _cluster(nodes=1)
+        est = cluster.estimate(CONFIG)
+        single = InferenceEstimator(
+            Deployment(
+                get_model("LLaMA-3-70B"), get_hardware("H100"),
+                get_framework("vLLM"), plan=ParallelismPlan(tp=4),
+            )
+        ).estimate(CONFIG)
+        # Same capacity and same order of throughput (the stage slice
+        # carries the full embedding, so a small gap is expected).
+        assert est.metrics.effective_concurrency == single.effective_concurrency
+        assert est.throughput_tokens_per_s == pytest.approx(
+            single.throughput_tokens_per_s, rel=0.15
+        )
+
+    def test_more_nodes_more_throughput(self):
+        tputs = [
+            _cluster(nodes=n).estimate(CONFIG).throughput_tokens_per_s
+            for n in (1, 2, 4)
+        ]
+        assert tputs == sorted(tputs)
+
+    def test_decode_scaling_is_sublinear(self):
+        """PP-across-nodes decode is bubble-limited: far below linear."""
+        one = _cluster(nodes=1).estimate(CONFIG).throughput_tokens_per_s
+        four = _cluster(nodes=4).estimate(CONFIG).throughput_tokens_per_s
+        assert four < 3 * one
+
+    def test_ttft_improves_with_nodes(self):
+        """Prefill pipelines deeply, so TTFT drops with node count."""
+        one = _cluster(nodes=1).estimate(CONFIG).metrics.ttft_s
+        four = _cluster(nodes=4).estimate(CONFIG).metrics.ttft_s
+        assert four < one
+
+    def test_capacity_relief_on_starved_nodes(self):
+        """70B on A100 nodes: a second node lifts the concurrency cap —
+        the strongest reason to scale out."""
+        one = _cluster(nodes=1, hw="A100").estimate(CONFIG)
+        two = _cluster(nodes=2, hw="A100").estimate(CONFIG)
+        assert two.metrics.effective_concurrency > (
+            one.metrics.effective_concurrency
+        )
+        assert two.throughput_tokens_per_s > 2 * one.throughput_tokens_per_s
+
+    def test_inter_node_time_scales_with_boundaries(self):
+        two = _cluster(nodes=2).estimate(CONFIG).inter_node_time_per_step_s
+        four = _cluster(nodes=4).estimate(CONFIG).inter_node_time_per_step_s
+        assert four == pytest.approx(3 * two / 1, rel=0.01) or four > two
+
+    def test_power_scales_with_nodes(self):
+        # Per-node power shifts slightly with the slice's utilization mix,
+        # so aggregate power lands near (not exactly at) 4x.
+        one = _cluster(nodes=1).estimate(CONFIG).metrics.average_power_w
+        four = _cluster(nodes=4).estimate(CONFIG).metrics.average_power_w
+        assert 2.8 * one < four < 4.4 * one
+
+    def test_oom_propagates(self):
+        """A stage that cannot hold its slice reports OOM."""
+        cluster = ClusterDeployment(
+            get_model("LLaMA-2-70B"), get_hardware("A100"),
+            get_framework("vLLM"), num_nodes=1, tp_per_node=1,
+        )
+        assert cluster.estimate(CONFIG).metrics.oom

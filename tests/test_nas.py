@@ -1,0 +1,126 @@
+"""Tests for the KV-head NAS subsystem (DeciLM mechanism, Fig. 4a)."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.nas.search import KVHeadSearch
+from repro.nas.space import KVHeadSearchSpace
+
+
+@pytest.fixture
+def space():
+    return KVHeadSearchSpace(get_model("LLaMA-2-7B"), pool=(1, 2, 4))
+
+
+class TestSearchSpace:
+    def test_size(self, space):
+        assert space.size == 3**32
+
+    def test_random_candidate_from_pool(self, space):
+        rng = np.random.default_rng(0)
+        candidate = space.random_candidate(rng)
+        assert len(candidate) == 32
+        assert set(candidate) <= {1, 2, 4}
+
+    def test_mutation_changes_some_layers(self, space):
+        rng = np.random.default_rng(0)
+        base = (2,) * 32
+        mutated = space.mutate(base, rng, rate=0.5)
+        assert len(mutated) == 32
+        assert mutated != base
+
+    def test_mutation_rate_zeroish_keeps_most(self, space):
+        rng = np.random.default_rng(0)
+        base = (2,) * 32
+        mutated = space.mutate(base, rng, rate=0.01)
+        changed = sum(a != b for a, b in zip(base, mutated))
+        assert changed <= 3
+
+    def test_crossover_mixes_parents(self, space):
+        rng = np.random.default_rng(1)
+        child = space.crossover((1,) * 32, (4,) * 32, rng)
+        assert set(child) <= {1, 4}
+        assert 1 in child and 4 in child
+
+    def test_realize_builds_model(self, space):
+        model = space.realize((2,) * 32, name="uniform-2")
+        assert model.name == "uniform-2"
+        assert model.total_kv_heads == 64
+
+    def test_pool_must_divide_heads(self):
+        with pytest.raises(ValueError, match="divide"):
+            KVHeadSearchSpace(get_model("LLaMA-2-7B"), pool=(3,))
+
+    def test_candidate_length_validated(self, space):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="length"):
+            space.mutate((1, 2), rng)
+
+
+class TestSearch:
+    @pytest.fixture
+    def search(self, space):
+        return KVHeadSearch(
+            space=space,
+            hardware=get_hardware("A100"),
+            framework=get_framework("vLLM"),
+            workload=GenerationConfig(1024, 1024, 32),
+            perplexity_budget=1.15,
+            population=8,
+            generations=4,
+            seed=0,
+        )
+
+    def test_finds_speedup_over_base(self, search):
+        """Fewer KV heads -> smaller cache -> faster decode at batch: the
+        search must beat the MHSA base model (DeciLM's result)."""
+        result = search.run()
+        assert result.speedup > 1.2
+
+    def test_respects_perplexity_budget(self, search):
+        result = search.run()
+        assert result.perplexity <= 1.15 * result.base_perplexity
+
+    def test_spends_fewer_kv_heads_than_base(self, search):
+        result = search.run()
+        assert result.total_kv_heads < search.space.base_model.total_kv_heads
+
+    def test_deterministic_given_seed(self, space):
+        def run(seed):
+            return KVHeadSearch(
+                space=space,
+                hardware=get_hardware("A100"),
+                framework=get_framework("vLLM"),
+                workload=GenerationConfig(512, 512, 16),
+                population=6,
+                generations=3,
+                seed=seed,
+            ).run()
+
+        assert run(3).candidate == run(3).candidate
+
+    def test_counts_evaluations(self, search):
+        result = search.run()
+        assert result.evaluations > search.population
+
+    def test_validates_parameters(self, space):
+        with pytest.raises(ValueError):
+            KVHeadSearch(
+                space=space,
+                hardware=get_hardware("A100"),
+                framework=get_framework("vLLM"),
+                workload=GenerationConfig(128, 128, 1),
+                population=1,
+            )
+        with pytest.raises(ValueError):
+            KVHeadSearch(
+                space=space,
+                hardware=get_hardware("A100"),
+                framework=get_framework("vLLM"),
+                workload=GenerationConfig(128, 128, 1),
+                perplexity_budget=0.9,
+            )

@@ -1,0 +1,143 @@
+"""Tests for the KV allocators."""
+
+import pytest
+
+from repro.runtime.paged_kv import (
+    AllocationError,
+    ContiguousKVAllocator,
+    PagedKVAllocator,
+)
+
+
+class TestPagedAllocator:
+    def test_capacity(self):
+        alloc = PagedKVAllocator(total_blocks=10, block_size=16)
+        assert alloc.capacity_tokens == 160
+        assert alloc.free_blocks == 10
+
+    def test_admit_reserves_final_context(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, prompt_tokens=20, final_context_tokens=100)
+        # ceil(100/16) = 7 blocks reserved
+        assert alloc.free_blocks == 3
+        assert alloc.context_tokens(1) == 20
+
+    def test_can_admit_respects_reservations(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 10, 100)
+        assert alloc.can_admit(48)  # 3 blocks
+        assert not alloc.can_admit(64)  # 4 blocks > 3 free
+
+    def test_append_within_reservation(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 10, 12)
+        alloc.append_token(1)
+        alloc.append_token(1)
+        assert alloc.context_tokens(1) == 12
+
+    def test_append_past_reservation_raises(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 16, 16)
+        with pytest.raises(AllocationError, match="reservation"):
+            alloc.append_token(1)
+
+    def test_free_returns_blocks(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 10, 100)
+        alloc.free(1)
+        assert alloc.free_blocks == 10
+        assert alloc.num_sequences == 0
+
+    def test_double_admit_raises(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 10, 20)
+        with pytest.raises(AllocationError, match="already admitted"):
+            alloc.admit(1, 10, 20)
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(AllocationError, match="not admitted"):
+            PagedKVAllocator(10, 16).free(42)
+
+    def test_overcommit_raises(self):
+        alloc = PagedKVAllocator(4, 16)
+        with pytest.raises(AllocationError, match="blocks"):
+            alloc.admit(1, 10, 100)
+
+    def test_internal_fragmentation(self):
+        alloc = PagedKVAllocator(10, 16)
+        alloc.admit(1, 17, 40)  # maps 2 blocks (32 tokens) for 17 tokens
+        assert alloc.internal_fragmentation_tokens == 32 - 17
+        for _ in range(15):
+            alloc.append_token(1)
+        assert alloc.internal_fragmentation_tokens == 0  # 32 of 32 used
+
+    def test_used_tokens_tracks_contexts(self):
+        alloc = PagedKVAllocator(20, 16)
+        alloc.admit(1, 10, 40)
+        alloc.admit(2, 20, 40)
+        assert alloc.used_tokens == 30
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            PagedKVAllocator(0, 16)
+        with pytest.raises(ValueError):
+            PagedKVAllocator(10, 0)
+
+    def test_validates_admit_args(self):
+        alloc = PagedKVAllocator(10, 16)
+        with pytest.raises(ValueError):
+            alloc.admit(1, 0, 10)
+        with pytest.raises(ValueError):
+            alloc.admit(1, 20, 10)
+
+
+class TestContiguousAllocator:
+    def test_reserves_full_context_up_front(self):
+        alloc = ContiguousKVAllocator(100)
+        alloc.admit(1, prompt_tokens=10, final_context_tokens=80)
+        assert alloc.free_tokens == 20
+        assert not alloc.can_admit(30)
+
+    def test_earlier_oom_than_paged(self):
+        """The Gaudi2/llama.cpp mechanism: same budget, fewer sequences."""
+        paged = PagedKVAllocator(total_blocks=100 // 16, block_size=16)  # 96 tok
+        contiguous = ContiguousKVAllocator(96)
+        # Short prompts that will grow to 48: paged reserves 3 blocks each.
+        paged.admit(1, 8, 48)
+        paged.admit(2, 8, 48)
+        contiguous.admit(1, 8, 48)
+        contiguous.admit(2, 8, 48)
+        assert paged.can_admit(48) == contiguous.can_admit(48) is False
+        # But with ragged growth targets the contiguous allocator wastes
+        # the full reservation while paged rounds to blocks only.
+        assert contiguous.free_tokens == 0
+        assert paged.free_blocks == 0
+
+    def test_append_and_free(self):
+        alloc = ContiguousKVAllocator(100)
+        alloc.admit(1, 10, 12)
+        alloc.append_token(1)
+        alloc.append_token(1)
+        with pytest.raises(AllocationError, match="reservation"):
+            alloc.append_token(1)
+        alloc.free(1)
+        assert alloc.free_tokens == 100
+
+    def test_used_vs_capacity(self):
+        alloc = ContiguousKVAllocator(100)
+        alloc.admit(1, 10, 50)
+        assert alloc.used_tokens == 10
+        assert alloc.capacity_tokens == 100
+
+    def test_unknown_sequence_raises(self):
+        alloc = ContiguousKVAllocator(100)
+        with pytest.raises(AllocationError):
+            alloc.append_token(9)
+        with pytest.raises(AllocationError):
+            alloc.context_tokens(9)
+
+    def test_double_admit_raises(self):
+        alloc = ContiguousKVAllocator(100)
+        alloc.admit(1, 10, 20)
+        with pytest.raises(AllocationError, match="already"):
+            alloc.admit(1, 10, 20)

@@ -1,0 +1,196 @@
+"""Shape-fidelity assertions: the paper's headline findings must hold.
+
+These tests encode the *qualitative* claims of the paper — orderings,
+crossovers, and coarse ratio bands — against the simulator.  They are the
+reproduction's primary acceptance criteria (see EXPERIMENTS.md for the
+quantitative paper-vs-measured ledger).
+"""
+
+import pytest
+
+from repro.bench import BenchmarkRunner, run_experiment
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchmarkRunner()
+
+
+def _claims(experiment_id, runner):
+    return run_experiment(experiment_id, runner).measured
+
+
+class TestPreliminaryStudy:
+    def test_batching_gain_is_large(self, runner):
+        """Fig. 1a: bs 64 over bs 1 at length 2048 is order tens."""
+        ratio = _claims("fig1a", runner)["bs64_over_bs1_at_2048"]
+        assert 10.0 < ratio < 55.0
+
+    def test_blended_tokens_asymmetry(self, runner):
+        """Fig. 1b: long-input/short-output far faster than the reverse."""
+        ratio = _claims("fig1b", runner)["in1024_out128_over_in128_out1024"]
+        assert ratio > 4.0
+
+    def test_kv_cache_benefit_grows_with_length(self, runner):
+        claims = _claims("fig2a", runner)
+        assert claims["kv_speedup_at_128"] > 1.1
+        assert claims["kv_speedup_at_1024"] > 2 * claims["kv_speedup_at_128"]
+
+    def test_block_sizes_at_or_above_16_optimal(self, runner):
+        claims = _claims("fig2b", runner)
+        assert claims["block16_over_block8_bs64"] > 1.1
+        assert 0.9 < claims["block128_over_block16_bs64"] < 1.1
+
+    def test_quantization_helps_both_gpus(self, runner):
+        claims = _claims("fig3", runner)
+        assert claims["h100_fp8_over_fp16"] > 1.1
+        assert claims["a100_int8_over_fp16"] > 1.1
+
+    def test_nas_model_wins(self, runner):
+        claims = _claims("fig4a", runner)
+        assert claims["deci_over_llama3_a100"] > 1.1
+        assert claims["deci_over_llama3_h100"] > 1.1
+
+    def test_speculative_decoding_pattern(self, runner):
+        claims = _claims("fig4b", runner)
+        assert claims["llama2_speedup_at_128"] > 1.0
+        assert claims["llama2_speedup_decay"] < 1.0
+        assert claims["mixtral_speedup_at_128"] < 1.0
+
+    def test_tp_beats_hybrid_beats_pp(self, runner):
+        claims = _claims("fig5a", runner)
+        assert claims["tp_over_pp"] > claims["tp_over_hybrid"] > 1.0
+
+
+class TestFrameworkStudy:
+    def test_gqa_models_beat_mhsa_on_optimized_frameworks(self, runner):
+        claims = _claims("fig6", runner)
+        assert claims["gqa_over_mhsa_bs64_a100"] > 1.5
+        assert claims["gqa_over_mhsa_bs64_h100"] > 1.5
+
+    def test_h100_scales_with_batch_a100_does_not_70b(self, runner):
+        """Fig. 7's memory-capacity story."""
+        claims = _claims("fig7", runner)
+        assert claims["h100_batch_scaling_1_to_64"] > 20.0
+        assert claims["a100_batch_scaling_1_to_64"] < 6.0
+        assert claims["mixtral_over_llama2_70b_h100"] > 1.3
+        assert claims["llama2_70b_over_llama3_70b_h100"] > 1.0
+
+    def test_vllm_hardware_ordering(self, runner):
+        """Fig. 8: GH200 > H100 > A100 > MI250."""
+        claims = _claims("fig8", runner)
+        assert claims["gh200_over_h100"] > 1.0
+        assert claims["a100_over_mi250"] > 1.0
+        assert claims["qwen2_best_7b_on_gh200"] > 1.0
+        assert claims["llama3_over_llama2_large_batch"] > 1.0
+
+    def test_llama2_70b_fastest_dense_70b(self, runner):
+        claims = _claims("fig9", runner)
+        assert claims["llama2_over_llama3_70b"] > 1.0
+        assert claims["llama2_over_qwen72b"] > 1.0
+        assert claims["mixtral_over_llama2_70b"] > 1.0
+
+    def test_dsmii_gqa_oblivious_ordering(self, runner):
+        claims = _claims("fig11", runner)
+        assert claims["llama2_over_llama3_bs64_len128"] > 1.0
+        assert claims["llama2_scaling_1_to_4_gpus"] > 2.0
+
+    def test_dsmii_overtakes_vllm_on_big_moe(self, runner):
+        """Fig. 12's crossover."""
+        assert _claims("fig12", runner)["dsmii_over_vllm_bs64_len2048"] > 0.95
+
+    def test_llamacpp_weak_device_scaling(self, runner):
+        assert _claims("fig13", runner)["a100_scaling_1_to_4_gpus"] < 2.0
+
+    def test_llamacpp_mhsa_beats_gqa(self, runner):
+        claims = _claims("fig14", runner)
+        assert claims["llama2_over_llama3"] > 1.0
+        assert claims["mistral_over_llama3"] > 1.0
+
+    def test_framework_ordering_on_a100(self, runner):
+        """Fig. 15: TRT-LLM > vLLM > DS-MII > llama.cpp."""
+        claims = _claims("fig15", runner)
+        assert claims["trtllm_over_vllm"] > 1.0
+        assert claims["vllm_over_dsmii"] > 1.0
+        assert claims["dsmii_over_llamacpp"] > 1.0
+        assert claims["mistral_over_llama3_vocab_effect"] > 1.0
+
+
+class TestHardwareStudy:
+    def test_power_story(self, runner):
+        """Fig. 16: TRT-LLM draws more power AND more perf/watt."""
+        claims = _claims("fig16", runner)
+        assert claims["trtllm_power_over_vllm_a100"] > 1.0
+        assert claims["trtllm_perf_per_watt_over_vllm"] > 1.0
+        assert claims["llama3_perf_per_watt_over_llama2"] > 1.0
+
+    def test_mi250_declines_past_32(self, runner):
+        assert _claims("fig17", runner)["bs64_over_bs32_at_1024"] < 1.0
+
+    def test_sn40l_competitive_and_length_loving(self, runner):
+        claims = _claims("fig18", runner)
+        assert claims["sn40l_over_4xh100_bs16_len512"] > 0.9
+        assert claims["sn40l_len512_over_len128"] > 1.0
+
+    def test_sn40l_beats_gpus_on_70b(self, runner):
+        assert _claims("fig19", runner)["sn40l_over_4xa100_70b"] > 1.3
+
+    def test_gaudi2_between_a100_and_h100(self, runner):
+        claims = _claims("fig20", runner)
+        assert claims["gaudi2_over_a100_bs16"] > 1.0
+        assert claims["h100_over_gaudi2_bs16"] > 1.0
+        assert claims["gaudi2_oom_at_bs64"] == 1.0
+
+    def test_gaudi2_position_holds_for_70b(self, runner):
+        claims = _claims("fig38", runner)
+        assert claims["gaudi2_over_a100_70b"] > 1.0
+        assert claims["h100_over_gaudi2_70b"] > 1.0
+
+    def test_sn40l_latency_signature(self, runner):
+        """Figs. 21/22: high TTFT, low ITL."""
+        assert _claims("fig21", runner)["sn40l_ttft_over_worst_gpu"] > 1.5
+        assert _claims("fig22", runner)["sn40l_itl_over_best_gpu"] < 1.0
+
+    def test_sn40l_best_up_to_bs32(self, runner):
+        assert _claims("fig23", runner)["sn40l_best_up_to_bs32"] > 0.95
+
+    def test_gpu_throughput_decreases_with_length(self, runner):
+        claims = _claims("fig24", runner)
+        assert claims["a100_len128_over_len2048"] > 1.0
+        assert claims["h100_len128_over_len2048"] > 1.0
+        assert claims["sn40l_len512_over_len128"] > 1.0
+
+    def test_h100_peak_leads(self, runner):
+        claims = _claims("fig25", runner)
+        assert claims["h100_peak_over_a100"] > 1.4
+        assert claims["a100_peak_over_mi250"] > 1.0
+
+    def test_mi250_gqa_peaks_at_32(self, runner):
+        claims = _claims("fig35", runner)
+        assert claims["llama3_bs64_over_bs32"] < 1.0
+
+    def test_mi250_llamacpp_mhsa_wins(self, runner):
+        assert _claims("fig36", runner)["llama2_over_best_gqa"] > 0.95
+
+
+class TestQualityStudy:
+    def test_perplexity_throughput_tradeoffs(self, runner):
+        claims = _claims("fig10", runner)
+        assert 0.0 < claims["mistral_ppl_minus_llama2"] < 0.3
+        assert claims["llama2_ppl_below_llama3"] > 0.0
+        assert claims["decilm_highest_throughput"] > 1.0
+        assert claims["legacy_ppl_above_llama2"] > 1.0
+
+    def test_h100_panel_consistent(self, runner):
+        claims = _claims("fig29", runner)
+        assert claims["decilm_highest_throughput"] > 1.0
+
+
+class TestTables:
+    def test_all_tables_match(self, runner):
+        assert _claims("tab1", runner)["config_mismatches"] == 0.0
+        assert _claims("tab2", runner)["memory_mismatches"] == 0.0
+        assert _claims("tab3", runner)["support_mismatches"] == 0.0
+
+    def test_llamacpp_70b_excluded_on_a100(self, runner):
+        assert _claims("fig32", runner)["llama2_70b_a100_oom"] == 1.0

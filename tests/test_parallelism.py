@@ -1,0 +1,123 @@
+"""Tests for parallelism plans and communication costs."""
+
+import pytest
+
+from repro.core.precision import Precision
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.parallelism import (
+    ParallelismPlan,
+    comm_costs_per_forward,
+    pipeline_factor,
+)
+
+
+class TestParallelismPlan:
+    def test_device_count(self):
+        assert ParallelismPlan(tp=2, pp=2).num_devices == 4
+
+    def test_labels(self):
+        assert ParallelismPlan().label == "single"
+        assert ParallelismPlan(tp=4).label == "TP4"
+        assert ParallelismPlan(tp=2, pp=2).label == "TP2+PP2"
+        assert ParallelismPlan(tp=4, ep=4).label == "TP4+EP4"
+
+    def test_ep_must_divide_devices(self):
+        with pytest.raises(ValueError, match="divide"):
+            ParallelismPlan(tp=2, ep=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ParallelismPlan(tp=0)
+
+    def test_validate_rejects_too_many_devices(self):
+        plan = ParallelismPlan(tp=8)
+        with pytest.raises(ValueError, match="devices"):
+            plan.validate_for(get_model("LLaMA-3-8B"), get_hardware("A100"))
+
+    def test_validate_rejects_tp_beyond_kv_heads(self):
+        plan = ParallelismPlan(tp=8)
+        # Qwen2-7B has only 4 KV heads; Gaudi2 has 8 devices.
+        with pytest.raises(ValueError, match="KV heads"):
+            plan.validate_for(get_model("Qwen2-7B"), get_hardware("Gaudi2"))
+
+    def test_validate_rejects_ep_on_dense(self):
+        plan = ParallelismPlan(tp=4, ep=4)
+        with pytest.raises(ValueError, match="dense"):
+            plan.validate_for(get_model("LLaMA-3-8B"), get_hardware("A100"))
+
+    def test_validate_accepts_ep_on_moe(self):
+        ParallelismPlan(tp=4, ep=4).validate_for(
+            get_model("Mixtral-8x7B"), get_hardware("A100")
+        )
+
+    def test_validate_rejects_pp_beyond_layers(self):
+        plan = ParallelismPlan(pp=8)
+        with pytest.raises(ValueError, match="layers"):
+            plan.validate_for(get_model("LLaMA-68M"), get_hardware("Gaudi2"))
+
+
+class TestCommCosts:
+    def _costs(self, plan, model="LLaMA-3-8B", fw="vLLM", tokens=16):
+        return comm_costs_per_forward(
+            get_model(model),
+            get_hardware("A100"),
+            get_framework(fw),
+            plan,
+            tokens,
+            Precision.FP16,
+        )
+
+    def test_single_device_is_free(self):
+        costs = self._costs(ParallelismPlan())
+        assert costs.total_s == 0.0
+
+    def test_tp_costs_scale_with_layers_and_tokens(self):
+        small = self._costs(ParallelismPlan(tp=4), tokens=16)
+        large = self._costs(ParallelismPlan(tp=4), tokens=16000)
+        assert large.tp_allreduce_s > small.tp_allreduce_s
+
+    def test_pp_has_p2p_not_allreduce(self):
+        costs = self._costs(ParallelismPlan(pp=4))
+        assert costs.pp_p2p_s > 0
+        assert costs.tp_allreduce_s == 0.0
+
+    def test_ep_only_for_moe(self):
+        dense = self._costs(ParallelismPlan(tp=4, ep=4))
+        assert dense.ep_all_to_all_s == 0.0
+        moe = self._costs(ParallelismPlan(tp=4, ep=4), model="Mixtral-8x7B")
+        assert moe.ep_all_to_all_s > 0.0
+
+    def test_layer_split_framework_skips_allreduce(self):
+        """llama.cpp has no TP all-reduces, only stage handoffs."""
+        costs = self._costs(ParallelismPlan(tp=4), fw="llama.cpp")
+        assert costs.tp_allreduce_s == 0.0
+        assert costs.pp_p2p_s > 0.0
+
+    def test_rejects_zero_tokens(self):
+        with pytest.raises(ValueError):
+            self._costs(ParallelismPlan(tp=2), tokens=0)
+
+
+class TestPipelineFactor:
+    def test_no_pp_is_one(self):
+        assert pipeline_factor(ParallelismPlan(tp=4), 16) == 1.0
+
+    def test_batch_one_fully_serial(self):
+        assert pipeline_factor(ParallelismPlan(pp=4), 1) == 4.0
+
+    def test_deep_pipelining_amortizes(self):
+        shallow = pipeline_factor(ParallelismPlan(pp=4), 4, microbatch_limit=2)
+        deep = pipeline_factor(ParallelismPlan(pp=4), 64, microbatch_limit=16)
+        assert deep < shallow
+
+    def test_microbatch_limit_caps(self):
+        capped = pipeline_factor(ParallelismPlan(pp=4), 64, microbatch_limit=2)
+        assert capped == pytest.approx((2 + 3) / 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            pipeline_factor(ParallelismPlan(pp=2), 0)
+        with pytest.raises(ValueError):
+            pipeline_factor(ParallelismPlan(pp=2), 4, microbatch_limit=0)

@@ -1,0 +1,100 @@
+"""Tests for the n-gram LM and the corpus perplexity bridge."""
+
+import pytest
+
+from repro.evaluation.datasets import unified_corpus
+from repro.evaluation.perplexity import (
+    NGramLanguageModel,
+    model_perplexity_on_corpus,
+    perplexity_of_stream,
+)
+from repro.evaluation.tokenizer import ByteBPETokenizer
+from repro.models.zoo import get_model
+
+
+def _token_streams(seed: int = 0):
+    corpus = unified_corpus(num_documents=4, words_per_document=120, seed=seed)
+    tok = ByteBPETokenizer(vocab_size=300).train(corpus)
+    tokens = tok.encode(corpus)
+    split = int(0.8 * len(tokens))
+    return tokens[:split], tokens[split:], tok.actual_vocab_size
+
+
+class TestNGramModel:
+    def test_probabilities_normalize(self):
+        train, _, vocab = _token_streams()
+        model = NGramLanguageModel(order=2, vocab_size=vocab).fit(train)
+        history = train[:1]
+        total = sum(model.probability(t, history) for t in range(vocab))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_probability_always_positive(self):
+        train, _, vocab = _token_streams()
+        model = NGramLanguageModel(order=3, vocab_size=vocab).fit(train)
+        # An unseen token after an unseen context still has mass.
+        assert model.probability(vocab - 1, [vocab - 1, vocab - 1]) > 0
+
+    def test_in_domain_perplexity_below_uniform(self):
+        train, held, vocab = _token_streams()
+        model = NGramLanguageModel(order=3, vocab_size=vocab).fit(train)
+        assert model.perplexity(held) < vocab
+
+    def test_higher_order_helps_in_domain(self):
+        train, held, vocab = _token_streams()
+        uni = NGramLanguageModel(order=1, vocab_size=vocab).fit(train)
+        tri = NGramLanguageModel(order=3, vocab_size=vocab).fit(train)
+        assert tri.perplexity(held) < uni.perplexity(held)
+
+    def test_more_data_helps(self):
+        train, held, vocab = _token_streams()
+        small = NGramLanguageModel(order=2, vocab_size=vocab).fit(train[:500])
+        large = NGramLanguageModel(order=2, vocab_size=vocab).fit(train)
+        assert large.perplexity(held) <= small.perplexity(held) * 1.05
+
+    def test_memorizes_training_text(self):
+        train, _, vocab = _token_streams()
+        model = NGramLanguageModel(order=3, vocab_size=vocab).fit(train)
+        assert model.perplexity(train[:500]) < model.perplexity(
+            list(reversed(train[:500]))
+        )
+
+    def test_untrained_raises(self):
+        model = NGramLanguageModel(order=2, vocab_size=100)
+        with pytest.raises(RuntimeError, match="not trained"):
+            model.probability(0, [])
+
+    def test_validates_tokens(self):
+        model = NGramLanguageModel(order=1, vocab_size=10)
+        with pytest.raises(ValueError, match="outside vocab"):
+            model.fit([1, 2, 30])
+
+    def test_needs_enough_tokens(self):
+        with pytest.raises(ValueError, match="at least"):
+            NGramLanguageModel(order=3, vocab_size=10).fit([1, 2])
+
+    def test_convenience_wrapper(self):
+        train, held, vocab = _token_streams()
+        ppl = perplexity_of_stream(train, held, vocab)
+        assert 1.0 < ppl < vocab
+
+
+class TestModelPerplexityBridge:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return unified_corpus(num_documents=3, words_per_document=100, seed=11)
+
+    def test_vocab_effect_is_measured(self, corpus):
+        """LLaMA-3's 128K vocab must yield higher token-level perplexity
+        than Mistral's 32K on the same corpus (Fig. 10 narrative)."""
+        mistral = model_perplexity_on_corpus(get_model("Mistral-7B"), corpus)
+        llama3 = model_perplexity_on_corpus(get_model("LLaMA-3-8B"), corpus)
+        assert llama3 > mistral
+
+    def test_llama2_best_of_the_trio(self, corpus):
+        llama2 = model_perplexity_on_corpus(get_model("LLaMA-2-7B"), corpus)
+        for name in ("Mistral-7B", "LLaMA-3-8B"):
+            assert model_perplexity_on_corpus(get_model(name), corpus) > llama2
+
+    def test_values_plausible(self, corpus):
+        ppl = model_perplexity_on_corpus(get_model("LLaMA-2-7B"), corpus)
+        assert 3.0 < ppl < 20.0

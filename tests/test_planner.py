@@ -1,0 +1,91 @@
+"""Tests for the automatic parallelism planner."""
+
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.planner import best_plan, enumerate_plans, rank_plans
+
+
+class TestEnumeratePlans:
+    def test_dense_model_plans(self):
+        plans = enumerate_plans(get_model("LLaMA-3-8B"), get_hardware("A100"), 4)
+        labels = {p.label for p in plans}
+        assert {"TP4", "PP4", "TP2+PP2"} <= labels
+        assert all(p.num_devices == 4 for p in plans)
+
+    def test_moe_model_includes_ep(self):
+        plans = enumerate_plans(get_model("Mixtral-8x7B"), get_hardware("A100"), 4)
+        assert any(p.ep > 1 for p in plans)
+
+    def test_dense_model_excludes_ep(self):
+        plans = enumerate_plans(get_model("LLaMA-3-8B"), get_hardware("A100"), 4)
+        assert all(p.ep == 1 for p in plans)
+
+    def test_respects_kv_head_limit(self):
+        # Qwen2-7B has 4 KV heads; TP8 must be filtered on an 8-device node.
+        plans = enumerate_plans(get_model("Qwen2-7B"), get_hardware("Gaudi2"), 8)
+        assert all(p.tp <= 4 for p in plans)
+
+    def test_rejects_oversized_budget(self):
+        with pytest.raises(ValueError):
+            enumerate_plans(get_model("LLaMA-3-8B"), get_hardware("A100"), 8)
+
+
+class TestRanking:
+    WORKLOAD = GenerationConfig(1024, 1024, 16)
+
+    def test_tp_wins_within_a_node(self):
+        """The paper's Fig. 5a conclusion, recovered by search."""
+        winner = best_plan(
+            get_model("LLaMA-3-8B"),
+            get_hardware("A100"),
+            get_framework("vLLM"),
+            self.WORKLOAD,
+            num_devices=4,
+        )
+        assert winner.plan.label == "TP4"
+
+    def test_ranking_is_sorted(self):
+        scores = rank_plans(
+            get_model("LLaMA-3-8B"),
+            get_hardware("A100"),
+            get_framework("vLLM"),
+            self.WORKLOAD,
+            num_devices=4,
+        )
+        tputs = [s.throughput_tokens_per_s for s in scores]
+        assert tputs == sorted(tputs, reverse=True)
+
+    def test_pure_pp_is_worst_feasible(self):
+        scores = rank_plans(
+            get_model("LLaMA-3-8B"),
+            get_hardware("A100"),
+            get_framework("vLLM"),
+            self.WORKLOAD,
+            num_devices=4,
+        )
+        feasible = [s for s in scores if s.feasible]
+        assert feasible[-1].plan.label == "PP4"
+
+    def test_70b_on_a100_needs_the_full_node(self):
+        winner = best_plan(
+            get_model("LLaMA-2-70B"),
+            get_hardware("A100"),
+            get_framework("vLLM"),
+            self.WORKLOAD,
+            num_devices=4,
+        )
+        assert winner.feasible
+
+    def test_infeasible_raises(self):
+        with pytest.raises(RuntimeError, match="no feasible plan"):
+            best_plan(
+                get_model("LLaMA-2-70B"),
+                get_hardware("A100"),
+                get_framework("vLLM"),
+                self.WORKLOAD,
+                num_devices=1,
+            )

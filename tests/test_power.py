@@ -1,0 +1,90 @@
+"""Tests for the power model and the pynvml-like monitor."""
+
+import pytest
+
+from repro.hardware.power import PowerModel, PynvmlLikeMonitor
+
+
+class TestPowerModel:
+    def test_idle_at_zero_utilization(self, a100):
+        model = PowerModel(a100)
+        assert model.device_power_w(0.0) == a100.idle_power_w
+
+    def test_tdp_at_full_utilization(self, a100):
+        model = PowerModel(a100)
+        assert model.device_power_w(1.0) == pytest.approx(a100.tdp_w)
+
+    def test_monotone_in_utilization(self, a100):
+        model = PowerModel(a100)
+        powers = [model.device_power_w(u) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_concave_curve(self, a100):
+        """gamma < 1: half utilization draws more than half dynamic power."""
+        model = PowerModel(a100)
+        half = model.device_power_w(0.5) - a100.idle_power_w
+        full = model.device_power_w(1.0) - a100.idle_power_w
+        assert half > 0.5 * full
+
+    def test_group_power_scales(self, a100):
+        one = PowerModel(a100, num_devices=1).group_power_w(0.5)
+        four = PowerModel(a100, num_devices=4).group_power_w(0.5)
+        assert four == pytest.approx(4 * one)
+
+    def test_average_power_weighted_by_duration(self, a100):
+        model = PowerModel(a100)
+        avg = model.average_power_w([1.0, 3.0], [1.0, 0.0])
+        expected = (model.group_power_w(1.0) + 3 * model.group_power_w(0.0)) / 4
+        assert avg == pytest.approx(expected)
+
+    def test_average_power_validates_inputs(self, a100):
+        model = PowerModel(a100)
+        with pytest.raises(ValueError, match="align"):
+            model.average_power_w([1.0], [0.5, 0.5])
+        with pytest.raises(ValueError, match="phase"):
+            model.average_power_w([], [])
+
+    def test_rejects_out_of_range_utilization(self, a100):
+        with pytest.raises(ValueError, match="utilization"):
+            PowerModel(a100).device_power_w(1.5)
+
+
+class TestPynvmlLikeMonitor:
+    def test_constant_load_average(self, a100):
+        monitor = PynvmlLikeMonitor(PowerModel(a100))
+        for t in (0.0, 1.0, 2.0):
+            monitor.sample(t, 0.5)
+        assert monitor.average_power_w() == pytest.approx(
+            PowerModel(a100).group_power_w(0.5)
+        )
+
+    def test_samples_report_milliwatts(self, a100):
+        monitor = PynvmlLikeMonitor(PowerModel(a100))
+        reading = monitor.sample(0.0, 0.0)
+        assert reading.power_mw == pytest.approx(a100.idle_power_w * 1000)
+
+    def test_trapezoidal_integration(self, a100):
+        model = PowerModel(a100)
+        monitor = PynvmlLikeMonitor(model)
+        monitor.sample(0.0, 0.0)
+        monitor.sample(1.0, 1.0)
+        expected = 0.5 * (model.group_power_w(0.0) + model.group_power_w(1.0))
+        assert monitor.average_power_w() == pytest.approx(expected)
+
+    def test_needs_two_samples(self, a100):
+        monitor = PynvmlLikeMonitor(PowerModel(a100))
+        monitor.sample(0.0, 0.5)
+        with pytest.raises(RuntimeError, match="two samples"):
+            monitor.average_power_w()
+
+    def test_rejects_time_travel(self, a100):
+        monitor = PynvmlLikeMonitor(PowerModel(a100))
+        monitor.sample(1.0, 0.5)
+        with pytest.raises(ValueError, match="time order"):
+            monitor.sample(0.5, 0.5)
+
+    def test_reset(self, a100):
+        monitor = PynvmlLikeMonitor(PowerModel(a100))
+        monitor.sample(0.0, 0.5)
+        monitor.reset()
+        assert monitor.samples == []

@@ -1,0 +1,40 @@
+"""Tests for precision/dtype definitions."""
+
+import pytest
+
+from repro.core.precision import PRECISIONS, Precision, precision_spec
+
+
+class TestPrecisionSpec:
+    def test_all_precisions_registered(self):
+        assert set(PRECISIONS) == set(Precision)
+
+    def test_byte_widths(self):
+        assert precision_spec(Precision.FP32).bytes_per_element == 4.0
+        assert precision_spec(Precision.FP16).bytes_per_element == 2.0
+        assert precision_spec(Precision.BF16).bytes_per_element == 2.0
+        assert precision_spec(Precision.FP8).bytes_per_element == 1.0
+        assert precision_spec(Precision.INT8).bytes_per_element == 1.0
+        assert precision_spec(Precision.INT4).bytes_per_element == 0.5
+
+    def test_lookup_by_string_case_insensitive(self):
+        assert precision_spec("FP16") is precision_spec(Precision.FP16)
+        assert precision_spec("int8").is_integer
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError):
+            precision_spec("fp12")
+
+    def test_fp8_doubles_matmul_rate(self):
+        assert precision_spec(Precision.FP8).matmul_speedup == 2.0
+
+    def test_fp32_halves_matmul_rate(self):
+        assert precision_spec(Precision.FP32).matmul_speedup == 0.5
+
+    def test_integer_flags(self):
+        assert precision_spec(Precision.INT8).is_integer
+        assert precision_spec(Precision.INT4).is_integer
+        assert not precision_spec(Precision.FP8).is_integer
+
+    def test_str_is_value(self):
+        assert str(Precision.FP16) == "fp16"

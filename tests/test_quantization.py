@@ -1,0 +1,82 @@
+"""Tests for quantized-execution schemes."""
+
+import pytest
+
+from repro.core.precision import Precision
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.perf.quantization import (
+    FP8_SCHEME,
+    FP16_SCHEME,
+    INT8_SCHEME,
+    QuantizationScheme,
+)
+
+
+class TestLabels:
+    def test_uniform_label(self):
+        assert FP16_SCHEME.label == "fp16"
+        assert FP8_SCHEME.label == "fp8"
+
+    def test_mixed_label(self):
+        assert INT8_SCHEME.label == "wint8-kvfp16"
+
+
+class TestValidation:
+    def test_fp8_rejected_on_a100(self):
+        """Paper Fig. 3: 'the absence of FP8 support on A100'."""
+        with pytest.raises(ValueError, match="FP8"):
+            FP8_SCHEME.validate_for(get_hardware("A100"), get_framework("vLLM"))
+
+    def test_fp8_accepted_on_h100(self):
+        FP8_SCHEME.validate_for(get_hardware("H100"), get_framework("vLLM"))
+
+    def test_int8_accepted_on_a100(self):
+        """INT8 runs on A100 via the dequant path."""
+        INT8_SCHEME.validate_for(get_hardware("A100"), get_framework("TRT-LLM"))
+
+    def test_framework_must_implement_format(self):
+        with pytest.raises(ValueError, match="does not implement"):
+            FP8_SCHEME.validate_for(
+                get_hardware("Gaudi2"), get_framework("DeepSpeed-MII")
+            )
+
+
+class TestComputeRates:
+    def test_fp8_doubles_rate_on_h100(self):
+        h100 = get_hardware("H100")
+        assert FP8_SCHEME.compute_rate_flops(h100) == pytest.approx(
+            2 * FP16_SCHEME.compute_rate_flops(h100)
+        )
+
+    def test_int8_on_a100_native(self):
+        a100 = get_hardware("A100")
+        assert INT8_SCHEME.compute_rate_flops(a100) == pytest.approx(
+            2 * FP16_SCHEME.compute_rate_flops(a100)
+        )
+
+    def test_dequant_overhead_when_unsupported(self):
+        """INT8 weights on hardware without native INT8: dequant cost."""
+        gaudi = get_hardware("Gaudi2")  # no INT8 in Table II
+        assert INT8_SCHEME.compute_overhead(gaudi) > 1.0
+        assert INT8_SCHEME.compute_rate_flops(gaudi) == FP16_SCHEME.compute_rate_flops(
+            gaudi
+        )
+
+    def test_fp16_has_no_overhead_anywhere(self):
+        for hw in ("A100", "H100", "Gaudi2", "SN40L"):
+            assert FP16_SCHEME.compute_overhead(get_hardware(hw)) == 1.0
+
+
+class TestWeightBytes:
+    def test_byte_widths(self):
+        assert FP16_SCHEME.weight_bytes_per_param() == 2.0
+        assert FP8_SCHEME.weight_bytes_per_param() == 1.0
+        assert INT8_SCHEME.weight_bytes_per_param() == 1.0
+
+    def test_custom_scheme(self):
+        scheme = QuantizationScheme(
+            weight_precision=Precision.INT4, kv_precision=Precision.FP8
+        )
+        assert scheme.weight_bytes_per_param() == 0.5
+        assert scheme.label == "wint4-kvfp8"

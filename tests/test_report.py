@@ -1,0 +1,65 @@
+"""Tests for result reporting and EXPERIMENTS.md generation."""
+
+import pytest
+
+from repro.bench import BenchmarkRunner
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import (
+    _fidelity_flag,
+    experiments_markdown,
+    render_results,
+    run_all,
+)
+from repro.core.results import ResultTable
+
+
+def _result(measured, paper):
+    result = ExperimentResult("fig1a", "t", ResultTable())
+    for name, value in measured.items():
+        result.claim(name, value, paper=paper.get(name))
+    return result
+
+
+class TestFidelityFlag:
+    def test_within_quarter_is_match(self):
+        assert _fidelity_flag(1.2, 1.0) == "match"
+        assert _fidelity_flag(0.8, 1.0) == "match"
+
+    def test_within_2x_same_direction_is_close(self):
+        assert _fidelity_flag(2.5, 1.3) == "close"
+
+    def test_wrong_direction_is_divergent(self):
+        # Paper says faster (1.3), we measure slower (0.7).
+        assert _fidelity_flag(0.7, 1.3) == "divergent"
+
+    def test_far_off_is_divergent(self):
+        assert _fidelity_flag(10.0, 1.0) == "divergent"
+
+    def test_zero_paper_value(self):
+        assert _fidelity_flag(0.0, 0.0) == "match"
+        assert _fidelity_flag(1.0, 0.0) == "divergent"
+
+
+class TestMarkdown:
+    def test_rows_for_each_claim(self):
+        results = [_result({"a": 1.1, "b": 2.0}, {"a": 1.0})]
+        md = experiments_markdown(results)
+        assert "| fig1a" in md
+        assert md.count("| a |") == 1
+        assert "observed" in md  # the paper-less claim
+
+    def test_header_present(self):
+        md = experiments_markdown([_result({"a": 1.0}, {"a": 1.0})])
+        assert md.startswith("# EXPERIMENTS")
+        assert "| Paper | Measured |" in md
+
+
+class TestRunAll:
+    def test_subset_run(self):
+        results = run_all(BenchmarkRunner(), ids=["tab1", "tab2"])
+        assert [r.experiment_id for r in results] == ["tab1", "tab2"]
+
+    def test_render_results_joins(self):
+        results = run_all(BenchmarkRunner(), ids=["tab1"])
+        text = render_results(results)
+        assert "[tab1]" in text

@@ -1,0 +1,97 @@
+"""Tests for roofline primitives."""
+
+import pytest
+
+from repro.hardware.roofline import (
+    compute_time,
+    memory_time,
+    mfu_at_batch,
+    roofline_time,
+    saturation_penalty,
+)
+from repro.hardware.zoo import get_hardware
+
+
+class TestMfuCurve:
+    def test_monotone_in_batch(self, a100):
+        values = [mfu_at_batch(a100, b) for b in (1, 4, 16, 64, 1024)]
+        assert values == sorted(values)
+
+    def test_approaches_ceiling(self, a100):
+        assert mfu_at_batch(a100, 1e6) == pytest.approx(a100.mfu_ceiling, rel=1e-3)
+
+    def test_small_batch_well_below_ceiling(self, a100):
+        assert mfu_at_batch(a100, 1) < 0.5 * a100.mfu_ceiling
+
+    def test_kernel_quality_scales(self, a100):
+        full = mfu_at_batch(a100, 64, kernel_quality=1.0)
+        half = mfu_at_batch(a100, 64, kernel_quality=0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_rejects_zero_tokens(self, a100):
+        with pytest.raises(ValueError):
+            mfu_at_batch(a100, 0)
+
+    def test_rejects_bad_quality(self, a100):
+        with pytest.raises(ValueError):
+            mfu_at_batch(a100, 1, kernel_quality=2.0)
+
+
+class TestSaturation:
+    def test_no_penalty_without_knee(self, a100):
+        assert saturation_penalty(a100, 1024) == 1.0
+
+    def test_mi250_penalty_beyond_32(self):
+        mi250 = get_hardware("MI250")
+        assert saturation_penalty(mi250, 32) == 1.0
+        assert saturation_penalty(mi250, 64) > 1.0
+
+    def test_penalty_grows_linearly(self):
+        mi250 = get_hardware("MI250")
+        p48 = saturation_penalty(mi250, 48)
+        p64 = saturation_penalty(mi250, 64)
+        assert (p64 - 1.0) == pytest.approx(2 * (p48 - 1.0))
+
+    def test_rejects_bad_batch(self, a100):
+        with pytest.raises(ValueError):
+            saturation_penalty(a100, 0)
+
+
+class TestLegTimes:
+    def test_compute_time(self):
+        assert compute_time(1e12, 1e12, 0.5) == pytest.approx(2.0)
+
+    def test_memory_time(self):
+        assert memory_time(2e12, 1e12) == pytest.approx(2.0)
+
+    def test_zero_work_is_zero_time(self):
+        assert compute_time(0.0, 1e12, 0.5) == 0.0
+        assert memory_time(0.0, 1e12) == 0.0
+
+    def test_rejections(self):
+        with pytest.raises(ValueError):
+            compute_time(-1.0, 1e12, 0.5)
+        with pytest.raises(ValueError):
+            compute_time(1.0, 1e12, 0.0)
+        with pytest.raises(ValueError):
+            memory_time(1.0, 0.0)
+
+
+class TestRooflineTime:
+    def test_full_overlap_is_max(self):
+        t = roofline_time(1e12, 2e12, 1e12, 1.0, 1e12, overlap=1.0)
+        assert t == pytest.approx(2.0)  # memory leg dominates
+
+    def test_no_overlap_is_sum(self):
+        t = roofline_time(1e12, 2e12, 1e12, 1.0, 1e12, overlap=0.0)
+        assert t == pytest.approx(3.0)
+
+    def test_partial_overlap_between(self):
+        lo = roofline_time(1e12, 2e12, 1e12, 1.0, 1e12, overlap=1.0)
+        hi = roofline_time(1e12, 2e12, 1e12, 1.0, 1e12, overlap=0.0)
+        mid = roofline_time(1e12, 2e12, 1e12, 1.0, 1e12, overlap=0.5)
+        assert lo < mid < hi
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            roofline_time(1.0, 1.0, 1.0, 1.0, 1.0, overlap=1.5)

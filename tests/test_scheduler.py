@@ -1,0 +1,123 @@
+"""Tests for continuous and static batching schedulers."""
+
+import pytest
+
+from repro.core.request import GenerationRequest, RequestState
+from repro.runtime.paged_kv import PagedKVAllocator
+from repro.runtime.scheduler import (
+    ContinuousBatchingScheduler,
+    StaticBatchingScheduler,
+)
+
+
+def _requests(n, input_tokens=16, output_tokens=16, arrival=0.0):
+    return [
+        GenerationRequest(input_tokens, output_tokens, arrival_time=arrival)
+        for _ in range(n)
+    ]
+
+
+def _continuous(capacity_blocks=100, block=16, max_concurrency=8):
+    return ContinuousBatchingScheduler(
+        PagedKVAllocator(capacity_blocks, block), max_concurrency
+    )
+
+
+class TestContinuousBatching:
+    def test_admits_up_to_concurrency(self):
+        sched = _continuous(max_concurrency=4)
+        for req in _requests(6):
+            sched.submit(req)
+        admitted = sched.admit(0.0)
+        assert len(admitted) == 4
+        assert len(sched.waiting) == 2
+
+    def test_admits_up_to_capacity(self):
+        # 4 blocks of 16 tokens; each request needs 2 blocks (32 ctx).
+        sched = _continuous(capacity_blocks=4, max_concurrency=10)
+        for req in _requests(5):
+            sched.submit(req)
+        assert len(sched.admit(0.0)) == 2
+
+    def test_respects_arrival_times(self):
+        sched = _continuous()
+        early, late = _requests(1)[0], _requests(1, arrival=5.0)[0]
+        sched.submit(early)
+        sched.submit(late)
+        assert len(sched.admit(0.0)) == 1
+        assert len(sched.admit(5.0)) == 1
+
+    def test_refills_as_requests_finish(self):
+        sched = _continuous(capacity_blocks=4, max_concurrency=10)
+        for req in _requests(3):
+            sched.submit(req)
+        first = sched.admit(0.0)
+        assert len(first) == 2
+        # Finish one request.
+        req = first[0]
+        for _ in range(req.output_tokens):
+            req.record_token(1.0)
+        done = sched.retire_finished()
+        assert len(done) == 1
+        assert len(sched.admit(1.0)) == 1
+
+    def test_admission_marks_prefilling(self):
+        sched = _continuous()
+        req = _requests(1)[0]
+        sched.submit(req)
+        sched.admit(0.0)
+        assert req.state == RequestState.PREFILLING
+
+    def test_submit_rejects_non_queued(self):
+        sched = _continuous()
+        req = _requests(1)[0]
+        req.state = RequestState.DECODING
+        with pytest.raises(ValueError, match="not queued"):
+            sched.submit(req)
+
+    def test_has_work(self):
+        sched = _continuous()
+        assert not sched.has_work
+        sched.submit(_requests(1)[0])
+        assert sched.has_work
+
+    def test_stats_track_admissions(self):
+        sched = _continuous()
+        for req in _requests(3):
+            sched.submit(req)
+        sched.admit(0.0)
+        assert sched.stats.admitted == 3
+        assert sched.stats.admission_rounds == 1
+
+
+class TestStaticBatching:
+    def _static(self, max_concurrency=4):
+        return StaticBatchingScheduler(PagedKVAllocator(100, 16), max_concurrency)
+
+    def test_admits_batch_when_idle(self):
+        sched = self._static()
+        for req in _requests(6):
+            sched.submit(req)
+        assert len(sched.admit(0.0)) == 4
+
+    def test_no_admission_while_running(self):
+        sched = self._static()
+        for req in _requests(6):
+            sched.submit(req)
+        sched.admit(0.0)
+        assert sched.admit(0.0) == []  # batch still running
+
+    def test_next_batch_after_all_finish(self):
+        sched = self._static(max_concurrency=2)
+        for req in _requests(4, output_tokens=1):
+            sched.submit(req)
+        batch1 = sched.admit(0.0)
+        for req in batch1:
+            req.record_token(1.0)
+        sched.retire_finished()
+        batch2 = sched.admit(1.0)
+        assert len(batch2) == 2
+
+    def test_max_concurrency_validated(self):
+        with pytest.raises(ValueError):
+            StaticBatchingScheduler(PagedKVAllocator(10, 16), 0)

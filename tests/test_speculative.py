@@ -1,0 +1,111 @@
+"""Tests for the speculative-decoding model (Fig. 4b)."""
+
+import pytest
+
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.parallelism import ParallelismPlan
+from repro.perf.phases import Deployment
+from repro.perf.speculative import (
+    SpeculativeConfig,
+    acceptance_rate,
+    expected_tokens_per_iteration,
+    speculative_speedup,
+)
+
+
+@pytest.fixture
+def draft():
+    return get_model("LLaMA-68M")
+
+
+@pytest.fixture
+def sd_config(draft):
+    return SpeculativeConfig(draft_model=draft, gamma=4)
+
+
+def _dep(model="LLaMA-2-7B", **kwargs):
+    return Deployment(
+        get_model(model), get_hardware("A100"), get_framework("vLLM"), **kwargs
+    )
+
+
+class TestAcceptanceRate:
+    def test_in_unit_interval(self, draft):
+        a = acceptance_rate(get_model("LLaMA-2-7B"), draft, 128)
+        assert 0.0 < a < 1.0
+
+    def test_decays_with_context(self, draft):
+        target = get_model("LLaMA-2-7B")
+        rates = [acceptance_rate(target, draft, ctx) for ctx in (128, 512, 2048)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_better_draft_higher_acceptance(self):
+        target = get_model("LLaMA-2-70B")
+        weak = acceptance_rate(target, get_model("LLaMA-68M"), 128)
+        strong = acceptance_rate(target, get_model("LLaMA-2-7B"), 128)
+        assert strong > weak
+
+    def test_never_hits_zero(self, draft):
+        assert acceptance_rate(get_model("LLaMA-2-7B"), draft, 100000) >= 0.05
+
+    def test_rejects_bad_context(self, draft):
+        with pytest.raises(ValueError):
+            acceptance_rate(get_model("LLaMA-2-7B"), draft, 0)
+
+
+class TestExpectedTokens:
+    def test_zero_acceptance_gives_one(self):
+        assert expected_tokens_per_iteration(0.0, 4) == 1.0
+
+    def test_full_acceptance_gives_gamma_plus_one(self):
+        assert expected_tokens_per_iteration(1.0, 4) == 5.0
+
+    def test_monotone_in_acceptance(self):
+        values = [expected_tokens_per_iteration(a, 4) for a in (0.1, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_geometric_sum_formula(self):
+        assert expected_tokens_per_iteration(0.5, 2) == pytest.approx(
+            (1 - 0.5**3) / 0.5
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            expected_tokens_per_iteration(1.5, 4)
+
+
+class TestSpeedup:
+    def test_helps_7b_at_short_context(self, sd_config):
+        speedup = speculative_speedup(_dep(), sd_config, GenerationConfig(128, 128, 1))
+        assert speedup > 1.0
+
+    def test_benefit_fades_with_length(self, sd_config):
+        """Paper: 'with an increase in sequence length ... the benefit of
+        SD vanishes'."""
+        short = speculative_speedup(_dep(), sd_config, GenerationConfig(128, 128, 1))
+        long = speculative_speedup(
+            _dep(), sd_config, GenerationConfig(2048, 2048, 1)
+        )
+        assert long < short
+
+    def test_no_benefit_for_mixtral(self, sd_config):
+        """Paper: 'SD improves the performance of only the 7B model'."""
+        dep = _dep("Mixtral-8x7B", plan=ParallelismPlan(tp=4))
+        speedup = speculative_speedup(dep, sd_config, GenerationConfig(128, 128, 1))
+        assert speedup < 1.0
+
+    def test_framework_without_sd_rejected(self, sd_config):
+        dep = Deployment(
+            get_model("LLaMA-2-7B"),
+            get_hardware("A100"),
+            get_framework("DeepSpeed-MII"),
+        )
+        with pytest.raises(ValueError, match="speculative"):
+            speculative_speedup(dep, sd_config, GenerationConfig(128, 128, 1))
+
+    def test_gamma_must_be_positive(self, draft):
+        with pytest.raises(ValueError):
+            SpeculativeConfig(draft_model=draft, gamma=0)

@@ -1,0 +1,60 @@
+"""Tests for the Table III support matrix."""
+
+import pytest
+
+from repro.frameworks.support import (
+    frameworks_for,
+    hardware_for,
+    support_matrix,
+    supported_pairs,
+)
+
+
+class TestTableIII:
+    @pytest.mark.parametrize(
+        "framework, hardware, expected",
+        [
+            ("vLLM", "A100", True),
+            ("vLLM", "H100", True),
+            ("vLLM", "GH200", True),
+            ("vLLM", "MI250", True),
+            ("vLLM", "Gaudi2", True),
+            ("llama.cpp", "A100", True),
+            ("llama.cpp", "Gaudi2", False),
+            ("TRT-LLM", "A100", True),
+            ("TRT-LLM", "MI250", False),
+            ("TRT-LLM", "Gaudi2", False),
+            ("DeepSpeed-MII", "A100", True),
+            ("DeepSpeed-MII", "H100", False),
+            ("DeepSpeed-MII", "MI250", False),
+            ("DeepSpeed-MII", "Gaudi2", True),
+        ],
+    )
+    def test_entries(self, framework, hardware, expected):
+        assert support_matrix()[framework][hardware] is expected
+
+    def test_sn40l_only_sambaflow(self):
+        assert frameworks_for("SN40L") == ["SambaFlow"]
+
+    def test_sambaflow_only_sn40l(self):
+        assert hardware_for("SambaFlow") == ["SN40L"]
+
+    def test_every_platform_has_a_framework(self):
+        matrix = support_matrix()
+        for hw in next(iter(matrix.values())):
+            assert frameworks_for(hw), f"{hw} has no serving path"
+
+    def test_supported_pairs_consistent_with_matrix(self):
+        pairs = set(supported_pairs())
+        matrix = support_matrix()
+        for fw, row in matrix.items():
+            for hw, ok in row.items():
+                assert ((fw, hw) in pairs) == ok
+
+    def test_unknown_hardware_raises(self):
+        with pytest.raises(KeyError):
+            frameworks_for("TPUv4")
+
+    def test_unknown_framework_raises(self):
+        with pytest.raises(KeyError):
+            hardware_for("sglang")

@@ -1,0 +1,87 @@
+"""Tests for the from-scratch byte-level BPE tokenizer."""
+
+import pytest
+
+from repro.evaluation.tokenizer import ByteBPETokenizer
+
+CORPUS = (
+    "the quick brown fox jumps over the lazy dog "
+    "the quick brown fox jumps again and again "
+    "pack my box with five dozen liquor jugs "
+) * 20
+
+
+class TestTraining:
+    def test_learns_merges(self):
+        tok = ByteBPETokenizer(vocab_size=300).train(CORPUS)
+        assert 0 < len(tok.merges) <= 300 - 256
+
+    def test_vocab_target_respected(self):
+        tok = ByteBPETokenizer(vocab_size=280).train(CORPUS)
+        assert tok.actual_vocab_size <= 280
+
+    def test_stops_when_no_repeats(self):
+        tok = ByteBPETokenizer(vocab_size=10000).train("a b c d e")
+        assert tok.actual_vocab_size < 300
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            ByteBPETokenizer().train("")
+
+    def test_rejects_whitespace_corpus(self):
+        with pytest.raises(ValueError):
+            ByteBPETokenizer().train("   \n  ")
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            ByteBPETokenizer(vocab_size=100)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        tok = ByteBPETokenizer(vocab_size=400).train(CORPUS)
+        text = "the quick brown fox"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_roundtrip_unseen_words(self):
+        tok = ByteBPETokenizer(vocab_size=400).train(CORPUS)
+        text = "zebra quokka xylophone"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unseen_bytes_fall_back_to_bytes(self):
+        tok = ByteBPETokenizer(vocab_size=300).train(CORPUS)
+        tokens = tok.encode("zzz")
+        assert all(t < 256 or t < tok.actual_vocab_size for t in tokens)
+
+    def test_empty_text_encodes_empty(self):
+        tok = ByteBPETokenizer(vocab_size=300).train(CORPUS)
+        assert tok.encode("") == []
+
+    def test_decode_rejects_out_of_range(self):
+        tok = ByteBPETokenizer(vocab_size=300).train(CORPUS)
+        with pytest.raises(ValueError, match="out of range"):
+            tok.decode([tok.actual_vocab_size + 5])
+
+
+class TestCompression:
+    def test_bigger_vocab_fewer_tokens(self):
+        """The mechanism behind the paper's vocabulary observations."""
+        small = ByteBPETokenizer(vocab_size=260).train(CORPUS)
+        large = ByteBPETokenizer(vocab_size=1024).train(CORPUS)
+        assert large.tokens_per_word(CORPUS) < small.tokens_per_word(CORPUS)
+
+    def test_trained_beats_untrained(self):
+        trained = ByteBPETokenizer(vocab_size=512).train(CORPUS)
+        untrained = ByteBPETokenizer(vocab_size=512)
+        assert len(trained.encode(CORPUS)) < len(untrained.encode(CORPUS))
+
+    def test_tokens_per_word_rejects_empty(self):
+        tok = ByteBPETokenizer(vocab_size=300).train(CORPUS)
+        with pytest.raises(ValueError):
+            tok.tokens_per_word("")
+
+    def test_common_word_becomes_single_token(self):
+        tok = ByteBPETokenizer(vocab_size=1024).train(CORPUS)
+        # "the" appears constantly; with a leading space it should merge
+        # down to very few tokens.
+        assert len(tok.encode("the")) <= 2

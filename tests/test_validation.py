@@ -1,0 +1,43 @@
+"""Tests for the estimator-vs-engine cross-validation harness."""
+
+import pytest
+
+from repro.bench.validation import ValidationPoint, cross_validate
+
+
+class TestValidationPoint:
+    def test_relative_error(self):
+        point = ValidationPoint("m", "h", "f", 1, 128, 100.0, 90.0)
+        assert point.relative_error == pytest.approx(0.1)
+
+    def test_zero_both_is_zero_error(self):
+        point = ValidationPoint("m", "h", "f", 1, 128, 0.0, 0.0)
+        assert point.relative_error == 0.0
+
+
+class TestCrossValidate:
+    def test_paths_agree_on_sampled_grid(self):
+        summary = cross_validate(num_points=10, seed=2)
+        assert len(summary.points) == 10
+        assert summary.max_relative_error < 0.02
+
+    def test_deterministic_per_seed(self):
+        a = cross_validate(num_points=5, seed=9)
+        b = cross_validate(num_points=5, seed=9)
+        assert [p.model for p in a.points] == [p.model for p in b.points]
+        assert a.max_relative_error == b.max_relative_error
+
+    def test_assertion_hook(self):
+        cross_validate(num_points=5, seed=3, max_relative_error=0.05)
+        with pytest.raises(AssertionError):
+            cross_validate(num_points=5, seed=3, max_relative_error=-1.0)
+
+    def test_render(self):
+        summary = cross_validate(num_points=3, seed=0)
+        text = summary.render()
+        assert "validated 3 points" in text
+        assert "relative error" in text
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            cross_validate(num_points=0)
