@@ -169,7 +169,7 @@ def test_ablation_optimistic_vs_conservative_admission(benchmark):
     the cost of recompute preemptions; conservative admission never
     preempts.  Both complete the same work."""
     from repro.runtime.engine import ServingEngine
-    from repro.runtime.trace import fixed_batch_trace
+    from repro.runtime.workload import fixed_batch_trace
 
     dep = Deployment(
         get_model("LLaMA-2-7B"), get_hardware("A100"), get_framework("vLLM")

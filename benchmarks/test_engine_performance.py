@@ -19,7 +19,7 @@ from repro.perf.estimator import InferenceEstimator
 from repro.perf.phases import Deployment, decode_step_breakdown
 from repro.runtime.engine import ServingEngine
 from repro.runtime.paged_kv import PagedKVAllocator
-from repro.runtime.trace import fixed_batch_trace
+from repro.runtime.workload import fixed_batch_trace
 
 
 def _dep() -> Deployment:

@@ -23,6 +23,7 @@ from repro.core import GenerationConfig, InferenceMetrics, Precision, ResultTabl
 from repro.frameworks import get_framework, list_frameworks
 from repro.hardware import get_hardware, list_hardware
 from repro.models import get_model, list_models
+from repro.obs import EventTracer, MetricsRegistry, NULL_TRACER, Tracer
 from repro.perf import Deployment, InferenceEstimator, ParallelismPlan
 from repro.runtime import ServingEngine, fixed_batch_trace
 
@@ -49,5 +50,9 @@ __all__ = [
     "ParallelismPlan",
     "ServingEngine",
     "fixed_batch_trace",
+    "EventTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Tracer",
     "__version__",
 ]

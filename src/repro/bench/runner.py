@@ -24,10 +24,11 @@ from repro.models.zoo import get_model
 from repro.perf.estimator import InferenceEstimator
 from repro.perf.parallelism import ParallelismPlan
 from repro.perf.phases import Deployment
+from repro.obs.tracer import Tracer
 from repro.perf.quantization import QuantizationScheme
-from repro.runtime.engine import ServingEngine
+from repro.runtime.engine import EngineResult, ServingEngine
 from repro.runtime.memory_manager import OutOfMemoryError
-from repro.runtime.trace import fixed_batch_trace
+from repro.runtime.workload import fixed_batch_trace
 
 __all__ = ["BenchmarkRunner", "default_plan"]
 
@@ -122,6 +123,32 @@ class BenchmarkRunner:
             return InferenceMetrics.out_of_memory(
                 config.batch_size, config.input_tokens, config.output_tokens
             )
+
+    def run_traced(
+        self,
+        deployment: Deployment,
+        trace: list,
+        tracer: Tracer,
+        max_concurrency: int | None = None,
+        optimistic: bool = False,
+    ) -> EngineResult:
+        """Run a request trace on the event engine with tracing enabled.
+
+        The observability entry point behind ``llm-inference-bench trace``:
+        always uses the discrete-event engine (the estimator has no events
+        to record) and returns the full :class:`EngineResult`, whose
+        ``metrics`` snapshot carries the TTFT/ITL histograms.  Raises
+        :class:`OutOfMemoryError` — callers decide how to report OOM.
+        """
+        engine = ServingEngine(
+            deployment,
+            max_concurrency=max_concurrency
+            or self.max_concurrency
+            or len(trace),
+            optimistic=optimistic,
+            tracer=tracer,
+        )
+        return engine.run(trace)
 
     def run_sweep(
         self,

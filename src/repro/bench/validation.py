@@ -23,7 +23,7 @@ from repro.perf.estimator import InferenceEstimator
 from repro.perf.phases import Deployment
 from repro.runtime.engine import ServingEngine
 from repro.runtime.memory_manager import OutOfMemoryError
-from repro.runtime.trace import fixed_batch_trace
+from repro.runtime.workload import fixed_batch_trace
 
 __all__ = ["ValidationPoint", "ValidationSummary", "cross_validate"]
 

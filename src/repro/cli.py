@@ -12,6 +12,10 @@ report [--output EXPERIMENTS.md]
     Run everything and regenerate the paper-vs-measured markdown.
 dashboard [--output dashboard.html]
     Build the self-contained HTML dashboard.
+trace --model M --hardware H --framework F [--batch-size N] [--rate R]
+    Run one workload on the event engine with tracing enabled; write
+    Chrome ``trace_event`` JSON (Perfetto-loadable) and print the
+    flamegraph-style summary with TTFT/ITL percentiles.
 """
 
 from __future__ import annotations
@@ -91,6 +95,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_p.add_argument("--points", type=int, default=20)
     validate_p.add_argument("--seed", type=int, default=0)
+
+    trace_p = sub.add_parser(
+        "trace", help="run a workload with tracing; write Chrome trace JSON"
+    )
+    trace_p.add_argument("--model", required=True)
+    trace_p.add_argument("--hardware", required=True)
+    trace_p.add_argument("--framework", required=True)
+    trace_p.add_argument("--batch-size", type=int, default=8)
+    trace_p.add_argument("--input-tokens", type=int, default=1024)
+    trace_p.add_argument("--output-tokens", type=int, default=1024)
+    trace_p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="Poisson arrival rate (req/s); omit for the paper's fixed batch",
+    )
+    trace_p.add_argument(
+        "--num-requests",
+        type=int,
+        default=None,
+        help="request count for --rate workloads (default 4x batch size)",
+    )
+    trace_p.add_argument("--optimistic", action="store_true",
+                         help="vLLM optimistic admission (preempt+recompute)")
+    trace_p.add_argument("--output", default="trace.json",
+                         help="Chrome trace_event JSON path (Perfetto-loadable)")
+    trace_p.add_argument("--summary-output", default=None,
+                         help="also write the text summary to this file")
+    trace_p.add_argument("--timelines", type=int, default=8, metavar="N",
+                         help="show the N slowest-TTFT request timelines")
     return parser
 
 
@@ -191,6 +225,68 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import EventTracer, timeline_table, trace_summary, write_chrome_trace
+    from repro.runtime.memory_manager import OutOfMemoryError
+    from repro.runtime.workload import fixed_batch_trace, poisson_trace
+
+    runner = BenchmarkRunner(use_engine=True)
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    if args.rate is not None:
+        num = args.num_requests or 4 * args.batch_size
+        workload = poisson_trace(
+            num, args.rate, args.input_tokens, args.output_tokens
+        )
+    else:
+        workload = fixed_batch_trace(
+            args.batch_size, args.input_tokens, args.output_tokens
+        )
+
+    tracer = EventTracer()
+    try:
+        result = runner.run_traced(
+            dep,
+            workload,
+            tracer,
+            max_concurrency=args.batch_size,
+            optimistic=args.optimistic,
+        )
+    except OutOfMemoryError as exc:
+        print(f"OOM: {exc}")
+        return 1
+
+    path = write_chrome_trace(
+        args.output,
+        tracer.events,
+        metadata={
+            "model": dep.model.name,
+            "hardware": dep.hardware.name,
+            "devices": dep.num_devices,
+            "framework": dep.framework.name,
+            "requests": len(workload),
+            "makespan_s": result.total_time_s,
+        },
+    )
+    summary = trace_summary(tracer.events, result.metrics)
+    header = (
+        f"{dep.model.name} / {dep.hardware.name} x{dep.num_devices} / "
+        f"{dep.framework.name} — {len(workload)} requests, "
+        f"makespan {result.total_time_s:.2f} s"
+    )
+    body = header + "\n\n" + summary
+    if args.timelines > 0:
+        body += "\n\nslowest request timelines (by TTFT):\n"
+        body += timeline_table(result.timelines(), limit=args.timelines)
+    print(body)
+    print(f"\nwrote {path} ({len(tracer.events)} events) — open in "
+          "https://ui.perfetto.dev or chrome://tracing")
+    if args.summary_output:
+        with open(args.summary_output, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+        print(f"wrote {args.summary_output}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.bench.validation import cross_validate
 
@@ -217,6 +313,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

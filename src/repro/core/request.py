@@ -79,6 +79,7 @@ class GenerationRequest:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     state: str = RequestState.QUEUED
     generated_tokens: int = 0
+    admit_time: float | None = None  # first admission (per-request timelines)
     first_token_time: float | None = None
     finish_time: float | None = None
     # Preemption-and-recompute support (vLLM's optimistic admission): when

@@ -13,8 +13,9 @@ import json
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+from repro.obs.metrics import MetricsSnapshot
 
-__all__ = ["dashboard_html", "write_dashboard"]
+__all__ = ["dashboard_html", "write_dashboard", "metrics_section_html"]
 
 _PAGE = """<!DOCTYPE html>
 <html lang="en">
@@ -42,6 +43,7 @@ to view its sweep table; bars are proportional to throughput within each
 table.</p>
 <label>Experiment: <select id="picker"></select></label>
 <div id="content"></div>
+{metrics_html}
 <script>
 const DATA = {data_json};
 const picker = document.getElementById("picker");
@@ -95,8 +97,83 @@ render(picker.value);
 """
 
 
-def dashboard_html(results: list[ExperimentResult]) -> str:
-    """Render results into a single self-contained HTML page."""
+def metrics_section_html(
+    snapshot: MetricsSnapshot, title: str = "Serving metrics (traced engine run)"
+) -> str:
+    """Static HTML fragment: percentile table + histogram bucket panels.
+
+    Rendered from a :class:`~repro.obs.metrics.MetricsSnapshot` (a traced
+    engine run); embeddable in the dashboard via ``dashboard_html``'s
+    ``metrics`` argument or served standalone.
+    """
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    if snapshot.histograms:
+        parts.append(
+            "<table class='data'><tr><th>histogram</th><th>count</th>"
+            "<th>mean</th><th>p50</th><th>p90</th><th>p99</th></tr>"
+        )
+        for name in sorted(snapshot.histograms):
+            h = snapshot.histograms[name]
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td><td>{h.count}</td>"
+                f"<td>{h.mean:.4g}</td><td>{h.p50:.4g}</td>"
+                f"<td>{h.p90:.4g}</td><td>{h.p99:.4g}</td></tr>"
+            )
+        parts.append("</table>")
+        for name in sorted(snapshot.histograms):
+            h = snapshot.histograms[name]
+            populated = [
+                (i, c) for i, c in enumerate(h.bucket_counts) if c > 0
+            ]
+            if not populated:
+                continue
+            peak = max(c for _, c in populated)
+            parts.append(f"<h3>{html.escape(name)} distribution</h3>")
+            parts.append("<table class='data'><tr><th>bucket &le;</th>"
+                         "<th>count</th><th></th></tr>")
+            for i, count in populated:
+                bound = (
+                    f"{h.buckets[i]:.4g}" if i < len(h.buckets) else "+inf"
+                )
+                width = round(200 * count / peak)
+                parts.append(
+                    f"<tr><td>{bound}</td><td>{count}</td>"
+                    f"<td><span class='bar' style='width:{width}px'></span>"
+                    "</td></tr>"
+                )
+            parts.append("</table>")
+    if snapshot.gauges:
+        parts.append(
+            "<table class='data'><tr><th>gauge</th><th>last</th><th>min</th>"
+            "<th>max</th><th>time-weighted mean</th></tr>"
+        )
+        for name in sorted(snapshot.gauges):
+            g = snapshot.gauges[name]
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td><td>{g.last:.4g}</td>"
+                f"<td>{g.minimum:.4g}</td><td>{g.maximum:.4g}</td>"
+                f"<td>{g.time_weighted_mean:.4g}</td></tr>"
+            )
+        parts.append("</table>")
+    if snapshot.counters:
+        parts.append("<table class='data'><tr><th>counter</th><th>value</th></tr>")
+        for name in sorted(snapshot.counters):
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{snapshot.counters[name]:.4g}</td></tr>"
+            )
+        parts.append("</table>")
+    return "\n".join(parts)
+
+
+def dashboard_html(
+    results: list[ExperimentResult], metrics: MetricsSnapshot | None = None
+) -> str:
+    """Render results into a single self-contained HTML page.
+
+    ``metrics`` (optional) embeds a traced engine run's percentile and
+    histogram panels below the experiment browser.
+    """
     if not results:
         raise ValueError("no results to render")
     data: dict[str, dict] = {}
@@ -115,11 +192,16 @@ def dashboard_html(results: list[ExperimentResult]) -> str:
             ],
             "records": result.table.to_dicts(),
         }
-    return _PAGE.format(data_json=json.dumps(data))
+    metrics_html = "" if metrics is None else metrics_section_html(metrics)
+    return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
-def write_dashboard(results: list[ExperimentResult], path: str | Path) -> Path:
+def write_dashboard(
+    results: list[ExperimentResult],
+    path: str | Path,
+    metrics: MetricsSnapshot | None = None,
+) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
-    out.write_text(dashboard_html(results), encoding="utf-8")
+    out.write_text(dashboard_html(results, metrics=metrics), encoding="utf-8")
     return out

@@ -1,0 +1,132 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and text summaries.
+
+``to_chrome_trace`` converts recorded :class:`~repro.obs.tracer.TraceEvent`
+lists into the JSON object format consumed by ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev): one track per event category, span
+events as ``"X"`` (complete) records, instants as ``"i"``, counters as
+``"C"``.  Simulation-clock seconds become trace microseconds.
+
+``trace_summary`` renders the same events as a flamegraph-style text
+breakdown — total span time per category/name with proportional bars —
+plus the metrics registry's percentile table when a snapshot is supplied.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracer import CATEGORIES, PHASE_COMPLETE, TraceEvent
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "trace_summary"]
+
+_S_TO_US = 1e6
+
+
+def _tid_for(category: str) -> int:
+    """Stable track id per category (unknown categories after the known)."""
+    try:
+        return CATEGORIES.index(category) + 1
+    except ValueError:
+        return len(CATEGORIES) + 1
+
+
+def to_chrome_trace(
+    events: list[TraceEvent], metadata: dict[str, object] | None = None
+) -> dict[str, object]:
+    """Chrome ``trace_event`` JSON object format for ``events``.
+
+    Returns a dict ready for ``json.dump``: ``traceEvents`` plus top-level
+    ``otherData`` carrying run metadata (model, hardware, framework, ...).
+    """
+    records: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro serving engine"},
+        }
+    ]
+    for category in dict.fromkeys(e.category for e in events):
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": _tid_for(category),
+                "args": {"name": category},
+            }
+        )
+    for event in sorted(events, key=lambda e: e.ts_s):
+        record: dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.ts_s * _S_TO_US,
+            "pid": 1,
+            "tid": _tid_for(event.category),
+            "args": dict(event.args),
+        }
+        if event.phase == PHASE_COMPLETE:
+            record["dur"] = event.dur_s * _S_TO_US
+        elif event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        records.append(record)
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: list[TraceEvent],
+    metadata: dict[str, object] | None = None,
+) -> Path:
+    """Write the Chrome trace JSON for ``events`` and return its path."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(to_chrome_trace(events, metadata), indent=1), encoding="utf-8"
+    )
+    return out
+
+
+def trace_summary(
+    events: list[TraceEvent],
+    snapshot: MetricsSnapshot | None = None,
+    bar_width: int = 32,
+) -> str:
+    """Flamegraph-style text summary: span time by category/name."""
+    totals: dict[tuple[str, str], tuple[float, int]] = {}
+    instants: dict[tuple[str, str], int] = {}
+    for event in events:
+        key = (event.category, event.name)
+        if event.phase == PHASE_COMPLETE:
+            dur, count = totals.get(key, (0.0, 0))
+            totals[key] = (dur + event.dur_s, count + 1)
+        elif event.phase == "i":
+            instants[key] = instants.get(key, 0) + 1
+
+    lines: list[str] = []
+    if totals:
+        busiest = max(dur for dur, _ in totals.values())
+        lines.append(f"{'span (category/name)':<34}{'total s':>10}{'count':>7}  ")
+        for (category, name), (dur, count) in sorted(
+            totals.items(), key=lambda kv: -kv[1][0]
+        ):
+            bar = "#" * (round(bar_width * dur / busiest) if busiest > 0 else 0)
+            lines.append(f"{category + '/' + name:<34}{dur:>10.3f}{count:>7d}  {bar}")
+    if instants:
+        lines.append("")
+        lines.append(f"{'instant (category/name)':<34}{'count':>7}")
+        for (category, name), count in sorted(instants.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{category + '/' + name:<34}{count:>7d}")
+    if snapshot is not None:
+        rendered = snapshot.render()
+        if rendered:
+            lines.append("")
+            lines.append(rendered)
+    return "\n".join(lines) if lines else "(no events recorded)"

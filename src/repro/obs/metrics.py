@@ -1,0 +1,264 @@
+"""Metrics registry: counters, gauges and histograms for the simulator.
+
+The registry is the numeric companion to the event tracer
+(:mod:`repro.obs.tracer`): where the tracer answers *when* something
+happened, the registry answers *how much / how often* — TTFT and ITL
+percentiles, queue depth over time, KV-pool occupancy, batch size per
+iteration.  A :class:`MetricsRegistry` snapshots into an immutable
+:class:`MetricsSnapshot` that rides on ``EngineResult`` and renders into
+the bench report and dashboard.
+
+Percentiles use linear interpolation between closest ranks — the same
+convention as ``numpy.percentile``'s default — so registry numbers agree
+with post-hoc numpy analysis to the float (tested).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "GaugeStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "percentile",
+]
+
+#: Default histogram buckets (seconds): spans sub-ms ITLs to minute-scale
+#: makespans at roughly 4 buckets per decade.
+DEFAULT_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (numpy-compatible)."""
+    if not samples:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Counter:
+    """Monotonically increasing count (admissions, preemptions, tokens)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Sampled value over time (queue depth, KV occupancy, batch size)."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[tuple[float, float]] = []  # (ts_s, value)
+
+    def set(self, value: float, ts_s: float = 0.0) -> None:
+        self.samples.append((ts_s, value))
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else float("nan")
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the interval each sample was in effect."""
+        if not self.samples:
+            return float("nan")
+        if len(self.samples) == 1:
+            return self.samples[0][1]
+        total = 0.0
+        span = self.samples[-1][0] - self.samples[0][0]
+        if span <= 0.0:
+            return sum(v for _, v in self.samples) / len(self.samples)
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v * (t1 - t0)
+        return total / span
+
+
+class Histogram:
+    """Bucketed distribution that also keeps raw samples.
+
+    Buckets give the dashboard its bar panels; the raw samples give exact
+    percentiles (the simulator's runs are small enough that keeping every
+    observation is cheaper than being wrong about the tail).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "samples")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS_S
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        # Prometheus ``le`` semantics: bucket i counts values <= buckets[i].
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+
+@dataclass(frozen=True)
+class GaugeStats:
+    """Frozen view of one gauge at snapshot time."""
+
+    last: float
+    minimum: float
+    maximum: float
+    time_weighted_mean: float
+    num_samples: int
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Frozen view of one histogram at snapshot time."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    buckets: tuple[float, ...]
+    bucket_counts: tuple[int, ...]
+
+    def as_row(self) -> dict[str, float]:
+        return {"count": self.count, "mean": self.mean,
+                "p50": self.p50, "p90": self.p90, "p99": self.p99}
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable registry state: what ``EngineResult`` and reports carry."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, GaugeStats] = field(default_factory=dict)
+    histograms: dict[str, HistogramStats] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable summary table (the ``repro trace`` output)."""
+        lines: list[str] = []
+        if self.histograms:
+            lines.append(
+                f"{'histogram':<24}{'count':>7}{'mean':>12}"
+                f"{'p50':>12}{'p90':>12}{'p99':>12}"
+            )
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"{name:<24}{h.count:>7d}{h.mean:>12.4g}"
+                    f"{h.p50:>12.4g}{h.p90:>12.4g}{h.p99:>12.4g}"
+                )
+        if self.gauges:
+            lines.append("")
+            lines.append(
+                f"{'gauge':<24}{'last':>10}{'min':>10}{'max':>10}{'t-mean':>10}"
+            )
+            for name in sorted(self.gauges):
+                g = self.gauges[name]
+                lines.append(
+                    f"{name:<24}{g.last:>10.4g}{g.minimum:>10.4g}"
+                    f"{g.maximum:>10.4g}{g.time_weighted_mean:>10.4g}"
+                )
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'counter':<24}{'value':>10}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<24}{self.counters[name]:>10.4g}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, buckets)
+        elif buckets is not None and tuple(buckets) != inst.buckets:
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return inst
+
+    def snapshot(self) -> MetricsSnapshot:
+        gauges = {}
+        for name, g in self._gauges.items():
+            values = [v for _, v in g.samples]
+            gauges[name] = GaugeStats(
+                last=g.last,
+                minimum=min(values) if values else float("nan"),
+                maximum=max(values) if values else float("nan"),
+                time_weighted_mean=g.time_weighted_mean(),
+                num_samples=len(values),
+            )
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges=gauges,
+            histograms={
+                name: HistogramStats(
+                    count=h.count,
+                    mean=h.mean(),
+                    p50=h.percentile(50),
+                    p90=h.percentile(90),
+                    p99=h.percentile(99),
+                    buckets=h.buckets,
+                    bucket_counts=tuple(h.counts),
+                )
+                for name, h in self._histograms.items()
+            },
+        )

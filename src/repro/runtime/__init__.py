@@ -1,4 +1,9 @@
-"""Serving runtime: engine, schedulers, KV allocators, memory, traces."""
+"""Serving runtime: engine, schedulers, KV allocators, memory, workloads.
+
+Observability: every component accepts a :class:`repro.obs.Tracer`
+(default no-op) and emits admit/prefill/decode/preempt/kv events plus
+TTFT/ITL histograms when given a recording ``EventTracer``.
+"""
 
 from repro.runtime.engine import EngineResult, ServingEngine
 from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, run_load_test
@@ -15,7 +20,7 @@ from repro.runtime.scheduler import (
     SchedulerStats,
     StaticBatchingScheduler,
 )
-from repro.runtime.trace import (
+from repro.runtime.workload import (
     TraceSummary,
     blended_trace,
     fixed_batch_trace,

@@ -24,6 +24,9 @@ from dataclasses import dataclass
 from repro.core.metrics import InferenceMetrics, LatencyBreakdown
 from repro.core.request import GenerationRequest, RequestState
 from repro.hardware.power import PowerModel
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.timeline import RequestTimeline, build_timelines
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.estimator import phase_utilization
 from repro.perf.phases import Deployment, decode_step_breakdown, prefill_breakdown
 from repro.runtime.memory_manager import MemoryManager, OutOfMemoryError
@@ -50,6 +53,7 @@ class EngineResult:
     average_power_w: float
     scheduler_stats: SchedulerStats
     oom: bool = False
+    metrics: MetricsSnapshot | None = None  # registry snapshot (traced runs)
 
     @property
     def total_tokens(self) -> int:
@@ -64,10 +68,20 @@ class EngineResult:
 
     @property
     def mean_ttft_s(self) -> float:
+        """Mean TTFT over requests that produced a first token.
+
+        NaN when no request did (e.g. an OOM point inside a sweep) so
+        aggregation over mixed sweeps never raises; callers that need a
+        hard failure can check ``math.isnan``.
+        """
         done = [r for r in self.requests if r.first_token_time is not None]
         if not done:
-            raise RuntimeError("no request produced a first token")
+            return float("nan")
         return sum(r.ttft_s for r in done) / len(done)
+
+    def timelines(self) -> list[RequestTimeline]:
+        """Per-request milestone timelines (arrival order)."""
+        return build_timelines(self.requests)
 
     @property
     def mean_itl_s(self) -> float:
@@ -112,18 +126,25 @@ class ServingEngine:
         max_concurrency: int | None = None,
         coalesce: bool = True,
         optimistic: bool = False,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         """``optimistic=True`` enables vLLM's real admission policy:
         reserve only prompt blocks and preempt-and-recompute when the KV
-        pool runs dry mid-decode (requires a paged deployment)."""
+        pool runs dry mid-decode (requires a paged deployment).
+
+        ``tracer`` (default the no-op :data:`~repro.obs.tracer.NULL_TRACER`)
+        records span/instant events and metric histograms as the run
+        executes; results are bit-identical either way."""
         if optimistic and not deployment.kv_spec.paged:
             raise ValueError("optimistic admission requires a paged KV spec")
         self.deployment = deployment
-        self.memory = MemoryManager(deployment)  # raises if weights don't fit
+        self.tracer = tracer
+        self.memory = MemoryManager(deployment, tracer=tracer)  # raises if weights don't fit
         self.max_concurrency = max_concurrency or 1024
         self.coalesce = coalesce
         self.optimistic = optimistic
         self._power = PowerModel(deployment.hardware, deployment.num_devices)
+        self._metrics: MetricsRegistry | None = None
 
     def _make_scheduler(self) -> Scheduler:
         allocator = self.memory.build_allocator()
@@ -132,7 +153,12 @@ class ServingEngine:
             if self.deployment.framework.continuous_batching
             else StaticBatchingScheduler
         )
-        return cls(allocator, self.max_concurrency, optimistic=self.optimistic)
+        return cls(
+            allocator,
+            self.max_concurrency,
+            optimistic=self.optimistic,
+            tracer=self.tracer,
+        )
 
     # ------------------------------------------------------------------
 
@@ -145,6 +171,9 @@ class ServingEngine:
         for request in sorted(trace, key=lambda r: r.arrival_time):
             scheduler.submit(request)
 
+        traced = self.tracer.enabled
+        self._metrics = MetricsRegistry() if traced else None
+
         now = 0.0
         iterations = 0
         decode_steps = 0
@@ -154,6 +183,9 @@ class ServingEngine:
             iterations += 1
             if iterations > _MAX_ITERATIONS:
                 raise RuntimeError("engine exceeded the iteration safeguard")
+            if traced:
+                self.tracer.advance(now)
+                self._sample_gauges(scheduler, now)
 
             admitted = scheduler.admit(now)
             if admitted:
@@ -165,7 +197,7 @@ class ServingEngine:
                     and r.generated_tokens < r.output_tokens
                 ]
                 now, energy_j = self._run_prefill(admitted, decoding, now, energy_j)
-                scheduler.retire_finished()  # output_tokens == 1 requests
+                self._observe_retired(scheduler.retire_finished())  # 1-token requests
                 continue
 
             running = scheduler.running
@@ -174,6 +206,10 @@ class ServingEngine:
                 if next_arrival > now:
                     # Idle until the next request arrives.
                     energy_j += (next_arrival - now) * self._power.group_power_w(0.0)
+                    if traced:
+                        self.tracer.complete(
+                            "engine", "idle", now, next_arrival - now
+                        )
                     now = next_arrival
                     continue
                 raise OutOfMemoryError(
@@ -187,8 +223,11 @@ class ServingEngine:
                 scheduler, running, steps, now, energy_j
             )
             decode_steps += steps
-            scheduler.retire_finished()
+            self._observe_retired(scheduler.retire_finished())
 
+        if traced:
+            self.tracer.advance(now)
+            self._sample_gauges(scheduler, now)  # close the gauge series
         return EngineResult(
             requests=list(trace),
             total_time_s=now,
@@ -196,7 +235,53 @@ class ServingEngine:
             decode_steps=decode_steps,
             average_power_w=(energy_j / now if now > 0 else 0.0),
             scheduler_stats=scheduler.stats,
+            metrics=self._final_snapshot(scheduler, decode_steps),
         )
+
+    # ------------------------------------------------------------------
+    # Observability helpers (no-ops unless a recording tracer is set).
+
+    def _sample_gauges(self, scheduler: Scheduler, now: float) -> None:
+        """One per-iteration sample of the operator-facing gauges."""
+        registry = self._metrics
+        if registry is None:
+            return
+        arrived = sum(1 for r in scheduler.waiting if r.arrival_time <= now)
+        registry.gauge("queue_depth").set(arrived, ts_s=now)
+        registry.gauge("batch_size").set(len(scheduler.running), ts_s=now)
+        allocator = scheduler.allocator
+        capacity = allocator.capacity_tokens
+        if capacity > 0:
+            registry.gauge("kv_occupancy").set(
+                allocator.used_tokens / capacity, ts_s=now
+            )
+
+    def _observe_retired(self, done: list[GenerationRequest]) -> None:
+        """Record per-request latency histograms at retirement."""
+        registry = self._metrics
+        if registry is None or not done:
+            return
+        for request in done:
+            registry.histogram("ttft_s").record(request.ttft_s)
+            registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+            if request.output_tokens > 1 and request.first_token_time is not None:
+                gap = (request.finish_time - request.first_token_time) / (
+                    request.output_tokens - 1
+                )
+                registry.histogram("itl_s").record(gap)
+
+    def _final_snapshot(
+        self, scheduler: Scheduler, decode_steps: int
+    ) -> MetricsSnapshot | None:
+        registry = self._metrics
+        if registry is None:
+            return None
+        stats = scheduler.stats
+        registry.counter("admitted").inc(stats.admitted)
+        registry.counter("finished").inc(stats.finished)
+        registry.counter("preemptions").inc(stats.preemptions)
+        registry.counter("decode_steps").inc(decode_steps)
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
 
@@ -225,10 +310,27 @@ class ServingEngine:
             chunks = -(-max_input // per_chunk_len)
         chunk_len = -(-max_input // chunks)
 
+        traced = self.tracer.enabled
         for chunk in range(chunks):
             breakdown = prefill_breakdown(self.deployment, batch, chunk_len)
-            energy_j += breakdown.total_s * self._phase_power(breakdown)
+            power_w = self._phase_power(breakdown)
+            energy_j += breakdown.total_s * power_w
+            if traced:
+                self.tracer.complete(
+                    "prefill",
+                    "prefill" if chunks == 1 else f"prefill_chunk_{chunk}",
+                    now,
+                    breakdown.total_s,
+                    batch=batch,
+                    tokens=chunk_len,
+                    riders=len(decoding),
+                )
+                self.tracer.counter(
+                    "power_sample", "power_w", ts_s=now, watts=round(power_w, 3)
+                )
             now += breakdown.total_s
+            if traced:
+                self.tracer.advance(now)
             # Decoding streams ride along with the chunk (their token is
             # folded into the fused chunk's batch at negligible marginal
             # cost — the SplitFuse effect).
@@ -270,10 +372,27 @@ class ServingEngine:
         span_ctx = max(1, round(mean_ctx + (steps - 1) / 2.0))
         step_bd = decode_step_breakdown(self.deployment, batch, span_ctx)
         span_bd = step_bd.scaled(float(steps))
-        energy_j += span_bd.total_s * self._phase_power(step_bd)
+        step_power_w = self._phase_power(step_bd)
+        energy_j += span_bd.total_s * step_power_w
+        traced = self.tracer.enabled
+        if traced:
+            self.tracer.complete(
+                "decode_span",
+                "decode",
+                now,
+                span_bd.total_s,
+                batch=batch,
+                steps=steps,
+                span_ctx=span_ctx,
+            )
+            self.tracer.counter(
+                "power_sample", "power_w", ts_s=now, watts=round(step_power_w, 3)
+            )
         active = list(running)
         for i in range(steps):
             token_time = now + step_bd.total_s * (i + 1)
+            if traced:
+                self.tracer.advance(token_time)
             for request in list(active):
                 if request not in active:
                     continue  # preempted earlier within this step

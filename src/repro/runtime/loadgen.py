@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.request import GenerationRequest
 from repro.perf.phases import Deployment
 from repro.runtime.engine import ServingEngine
-from repro.runtime.trace import blended_trace, poisson_trace
+from repro.runtime.workload import blended_trace, poisson_trace
 
 __all__ = [
     "ServiceLevelObjective",

@@ -10,6 +10,7 @@ do not fit — e.g. a 70B fp16 model on the 4x40 GB A100 node (Fig. 32).
 from __future__ import annotations
 
 from repro.models.kvcache import kv_bytes_per_token
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.phases import Deployment
 from repro.runtime.paged_kv import (
     ContiguousKVAllocator,
@@ -27,8 +28,9 @@ class OutOfMemoryError(RuntimeError):
 class MemoryManager:
     """Capacity accounting plus allocator construction for one deployment."""
 
-    def __init__(self, deployment: Deployment) -> None:
+    def __init__(self, deployment: Deployment, tracer: Tracer = NULL_TRACER) -> None:
         self.deployment = deployment
+        self.tracer = tracer
         self._mem = deployment.memory_model()
         self.weight_bytes = (
             deployment.model.total_params
@@ -66,9 +68,18 @@ class MemoryManager:
                 f"{self.weight_bytes / 1024**3:.1f} GiB of weights"
             )
         kv_spec = self.deployment.kv_spec
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "kv_alloc",
+                "kv_budget",
+                ts_s=0.0,
+                budget_tokens=budget_tokens,
+                weight_gib=round(self.weight_bytes / 1024**3, 3),
+                paged=int(kv_spec.paged),
+            )
         if kv_spec.paged:
             total_blocks = budget_tokens // kv_spec.block_size
             if total_blocks < 1:
                 raise OutOfMemoryError("KV budget smaller than one block")
-            return PagedKVAllocator(total_blocks, kv_spec.block_size)
-        return ContiguousKVAllocator(budget_tokens)
+            return PagedKVAllocator(total_blocks, kv_spec.block_size, tracer=self.tracer)
+        return ContiguousKVAllocator(budget_tokens, tracer=self.tracer)

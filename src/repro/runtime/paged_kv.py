@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = ["AllocationError", "KVAllocator", "PagedKVAllocator", "ContiguousKVAllocator"]
 
 
@@ -21,7 +23,23 @@ class AllocationError(RuntimeError):
 
 
 class KVAllocator:
-    """Interface shared by both allocator flavours."""
+    """Interface shared by both allocator flavours.
+
+    Allocators optionally carry a :class:`~repro.obs.tracer.Tracer` and
+    emit ``kv_alloc`` counter samples on admit/free (pool occupancy over
+    time, stamped at the tracer's clock).  Per-token appends are not
+    traced — that path is the simulator's hottest."""
+
+    tracer: Tracer = NULL_TRACER
+
+    def _trace_pool(self, name: str) -> None:
+        self.tracer.counter(
+            "kv_alloc",
+            "kv_pool",
+            event=name,
+            used_tokens=self.used_tokens,
+            capacity_tokens=self.capacity_tokens,
+        )
 
     def can_admit(self, final_context_tokens: int) -> bool:
         raise NotImplementedError
@@ -63,13 +81,16 @@ class PagedKVAllocator(KVAllocator):
     dry mid-decode.
     """
 
-    def __init__(self, total_blocks: int, block_size: int) -> None:
+    def __init__(
+        self, total_blocks: int, block_size: int, tracer: Tracer = NULL_TRACER
+    ) -> None:
         if total_blocks < 1:
             raise ValueError(f"total_blocks must be >= 1, got {total_blocks}")
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.total_blocks = total_blocks
         self.block_size = block_size
+        self.tracer = tracer
         self._sequences: dict[int, _PagedSequence] = {}
         self._reserved_blocks = 0
 
@@ -120,6 +141,8 @@ class PagedKVAllocator(KVAllocator):
             growable=optimistic,
         )
         self._reserved_blocks += needed
+        if self.tracer.enabled:
+            self._trace_pool("admit")
 
     def append_token(self, seq_id: int) -> None:
         seq = self._require(seq_id)
@@ -148,6 +171,8 @@ class PagedKVAllocator(KVAllocator):
         if seq is None:
             raise AllocationError(f"sequence {seq_id} not admitted")
         self._reserved_blocks -= seq.reserved_blocks
+        if self.tracer.enabled:
+            self._trace_pool("free")
 
     def context_tokens(self, seq_id: int) -> int:
         return self._require(seq_id).context_tokens
@@ -188,10 +213,11 @@ class _ContiguousSequence:
 class ContiguousKVAllocator(KVAllocator):
     """Whole-context up-front reservation (llama.cpp / Gaudi2 / SambaFlow)."""
 
-    def __init__(self, capacity_tokens: int) -> None:
+    def __init__(self, capacity_tokens: int, tracer: Tracer = NULL_TRACER) -> None:
         if capacity_tokens < 1:
             raise ValueError(f"capacity_tokens must be >= 1, got {capacity_tokens}")
         self._capacity = capacity_tokens
+        self.tracer = tracer
         self._reserved = 0
         self._sequences: dict[int, _ContiguousSequence] = {}
 
@@ -220,6 +246,8 @@ class ContiguousKVAllocator(KVAllocator):
             reserved_tokens=final_context_tokens, context_tokens=prompt_tokens
         )
         self._reserved += final_context_tokens
+        if self.tracer.enabled:
+            self._trace_pool("admit")
 
     def append_token(self, seq_id: int) -> None:
         seq = self._sequences.get(seq_id)
@@ -234,6 +262,8 @@ class ContiguousKVAllocator(KVAllocator):
         if seq is None:
             raise AllocationError(f"sequence {seq_id} not admitted")
         self._reserved -= seq.reserved_tokens
+        if self.tracer.enabled:
+            self._trace_pool("free")
 
     def context_tokens(self, seq_id: int) -> int:
         seq = self._sequences.get(seq_id)

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.request import GenerationRequest, RequestState
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.paged_kv import KVAllocator
 
 __all__ = ["SchedulerStats", "Scheduler", "ContinuousBatchingScheduler", "StaticBatchingScheduler"]
@@ -40,6 +41,7 @@ class Scheduler:
         allocator: KVAllocator,
         max_concurrency: int,
         optimistic: bool = False,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
@@ -50,6 +52,7 @@ class Scheduler:
         self.allocator = allocator
         self.max_concurrency = max_concurrency
         self.optimistic = optimistic
+        self.tracer = tracer
         self.waiting: deque[GenerationRequest] = deque()
         self.running: list[GenerationRequest] = []
         self.stats = SchedulerStats()
@@ -72,7 +75,7 @@ class Scheduler:
     def _can_admit(self, request: GenerationRequest) -> bool:
         return self.allocator.can_admit(self._admission_tokens(request))
 
-    def _admit_one(self, request: GenerationRequest) -> None:
+    def _admit_one(self, request: GenerationRequest, now: float) -> None:
         final_ctx = request.input_tokens + request.output_tokens
         prompt_ctx = request.prefill_tokens_needed
         if self.optimistic:
@@ -82,8 +85,20 @@ class Scheduler:
         else:
             self.allocator.admit(request.request_id, prompt_ctx, final_ctx)
         request.state = RequestState.PREFILLING
+        if request.admit_time is None:
+            request.admit_time = now
         self.running.append(request)
         self.stats.admitted += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "admit",
+                "admit" if request.preemptions == 0 else "readmit",
+                ts_s=now,
+                request_id=request.request_id,
+                prefill_tokens=prompt_ctx,
+                queue_depth=len(self.waiting),
+                running=len(self.running),
+            )
 
     def preempt(self, request: GenerationRequest) -> None:
         """Evict a running request (recompute policy): free its KV and
@@ -95,6 +110,14 @@ class Scheduler:
         request.mark_preempted()
         self.waiting.appendleft(request)
         self.stats.preemptions += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt",
+                "preempt",
+                request_id=request.request_id,
+                restart_context=request.restart_context,
+                running=len(self.running),
+            )
 
     def admit(self, now: float) -> list[GenerationRequest]:
         """Move admissible requests from waiting to running; returns them."""
@@ -122,7 +145,7 @@ class ContinuousBatchingScheduler(Scheduler):
             if not self._can_admit(request):
                 break
             self.waiting.popleft()
-            self._admit_one(request)
+            self._admit_one(request, now)
             admitted.append(request)
         if admitted:
             self.stats.admission_rounds += 1
@@ -143,7 +166,7 @@ class StaticBatchingScheduler(Scheduler):
             if not self._can_admit(request):
                 break
             self.waiting.popleft()
-            self._admit_one(request)
+            self._admit_one(request, now)
             admitted.append(request)
         if admitted:
             self.stats.admission_rounds += 1

@@ -11,7 +11,7 @@ from repro.perf.parallelism import ParallelismPlan
 from repro.perf.phases import Deployment
 from repro.runtime.engine import ServingEngine
 from repro.runtime.memory_manager import OutOfMemoryError
-from repro.runtime.trace import fixed_batch_trace, poisson_trace
+from repro.runtime.workload import fixed_batch_trace, poisson_trace
 
 
 def _engine(model="LLaMA-3-8B", hw="A100", fw="vLLM", **kwargs) -> ServingEngine:

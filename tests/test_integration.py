@@ -66,7 +66,7 @@ class TestEngineEstimatorGridAgreement:
     def test_paper_grid_sample(self):
         from repro.perf.estimator import InferenceEstimator
         from repro.runtime.engine import ServingEngine
-        from repro.runtime.trace import fixed_batch_trace
+        from repro.runtime.workload import fixed_batch_trace
 
         runner = BenchmarkRunner()
         for model, hw, fw in [

@@ -1,0 +1,149 @@
+"""Engine <-> observability integration: event emission, metric
+snapshots, and the null-tracer bit-identical guarantee."""
+
+import math
+
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.obs.tracer import EventTracer
+from repro.perf.phases import Deployment
+from repro.runtime.engine import ServingEngine
+from repro.runtime.workload import fixed_batch_trace, poisson_trace
+
+
+def _dep():
+    return Deployment(
+        get_model("LLaMA-2-7B"), get_hardware("A100"), get_framework("vLLM")
+    )
+
+
+class TestNullTracerIdentity:
+    def test_fixed_shape_results_bit_identical(self):
+        """The paper's fixed-shape workloads: tracing must not perturb the
+        simulation — every timestamp and aggregate is bit-identical."""
+        for batch, length in ((1, 128), (16, 256), (8, 1024)):
+            plain = ServingEngine(_dep(), max_concurrency=batch).run(
+                fixed_batch_trace(batch, length, length)
+            )
+            traced = ServingEngine(
+                _dep(), max_concurrency=batch, tracer=EventTracer()
+            ).run(fixed_batch_trace(batch, length, length))
+            assert plain.total_time_s == traced.total_time_s
+            assert plain.iterations == traced.iterations
+            assert plain.decode_steps == traced.decode_steps
+            assert plain.average_power_w == traced.average_power_w
+            for a, b in zip(plain.requests, traced.requests):
+                assert a.first_token_time == b.first_token_time
+                assert a.finish_time == b.finish_time
+
+    def test_poisson_results_bit_identical(self):
+        trace_args = dict(num_requests=16, rate_per_s=6.0, input_tokens=256,
+                          output_tokens=64, seed=5)
+        plain = ServingEngine(_dep(), max_concurrency=8).run(
+            poisson_trace(**trace_args)
+        )
+        traced = ServingEngine(_dep(), max_concurrency=8, tracer=EventTracer()).run(
+            poisson_trace(**trace_args)
+        )
+        assert plain.total_time_s == traced.total_time_s
+
+    def test_untraced_run_has_no_metrics(self):
+        result = ServingEngine(_dep(), max_concurrency=2).run(
+            fixed_batch_trace(2, 64, 16)
+        )
+        assert result.metrics is None
+
+
+class TestTracedRun:
+    def _traced(self, batch=4, inp=256, out=64, **kwargs):
+        tracer = EventTracer()
+        engine = ServingEngine(
+            _dep(), max_concurrency=batch, tracer=tracer, **kwargs
+        )
+        result = engine.run(fixed_batch_trace(batch, inp, out))
+        return tracer, result
+
+    def test_emits_all_phases(self):
+        tracer, _ = self._traced()
+        categories = {e.category for e in tracer.events}
+        assert {"admit", "prefill", "decode_span", "kv_alloc",
+                "power_sample"} <= categories
+
+    def test_timestamps_monotonic_per_category_track(self):
+        tracer, result = self._traced()
+        stamps = [e.ts_s for e in tracer.events]
+        assert all(s >= 0 for s in stamps)
+        assert max(e.end_s() for e in tracer.events) <= result.total_time_s + 1e-9
+
+    def test_admit_events_one_per_request(self):
+        tracer, result = self._traced(batch=6)
+        admits = tracer.events_in("admit")
+        assert len(admits) == 6
+        ids = {e.args["request_id"] for e in admits}
+        assert ids == {r.request_id for r in result.requests}
+
+    def test_span_time_covers_makespan(self):
+        tracer, result = self._traced()
+        busy = sum(
+            e.dur_s for e in tracer.events
+            if e.phase == "X" and e.category in ("prefill", "decode_span")
+        )
+        assert busy <= result.total_time_s + 1e-9
+        assert busy >= 0.9 * result.total_time_s  # fixed batch: no idle
+
+    def test_metrics_snapshot_matches_result(self):
+        tracer, result = self._traced(batch=4, inp=256, out=64)
+        snap = result.metrics
+        assert snap is not None
+        assert snap.counters["admitted"] == 4
+        assert snap.counters["finished"] == 4
+        assert snap.counters["decode_steps"] == result.decode_steps
+        ttft = snap.histograms["ttft_s"]
+        assert ttft.count == 4
+        assert ttft.p50 == result.mean_ttft_s  # identical TTFTs in a fixed batch
+        itl = snap.histograms["itl_s"]
+        assert itl.p50 == result.mean_itl_s
+
+    def test_preemption_events_under_optimistic_admission(self):
+        tracer = EventTracer()
+        engine = ServingEngine(
+            _dep(), max_concurrency=24, optimistic=True, tracer=tracer
+        )
+        result = engine.run(fixed_batch_trace(24, 1800, 2200))
+        preempts = tracer.events_in("preempt")
+        assert len(preempts) == result.scheduler_stats.preemptions > 0
+        assert result.metrics.counters["preemptions"] == len(preempts)
+        readmits = [e for e in tracer.events_in("admit") if e.name == "readmit"]
+        assert readmits
+
+    def test_kv_pool_counters_track_occupancy(self):
+        tracer, _ = self._traced()
+        pool = [e for e in tracer.events_in("kv_alloc") if e.name == "kv_pool"]
+        assert pool
+        for event in pool:
+            assert 0 <= event.args["used_tokens"] <= event.args["capacity_tokens"]
+
+    def test_power_samples_positive(self):
+        tracer, _ = self._traced()
+        samples = tracer.events_in("power_sample")
+        assert samples
+        assert all(e.args["watts"] > 0 for e in samples)
+
+
+class TestMeanTtftNan:
+    def test_nan_instead_of_raise_when_no_first_token(self):
+        from repro.core.request import GenerationRequest
+        from repro.runtime.engine import EngineResult
+        from repro.runtime.scheduler import SchedulerStats
+
+        result = EngineResult(
+            requests=[GenerationRequest(8, 8)],
+            total_time_s=0.0,
+            iterations=0,
+            decode_steps=0,
+            average_power_w=0.0,
+            scheduler_stats=SchedulerStats(),
+            oom=True,
+        )
+        assert math.isnan(result.mean_ttft_s)  # no RuntimeError

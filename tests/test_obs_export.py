@@ -1,0 +1,151 @@
+"""Tests for trace export (Chrome trace_event JSON, text summary) and the
+``trace`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.obs.export import to_chrome_trace, trace_summary, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+
+def _sample_tracer() -> EventTracer:
+    tracer = EventTracer()
+    tracer.instant("admit", "admit", ts_s=0.0, request_id=1)
+    tracer.complete("prefill", "prefill", 0.0, 0.2, batch=2)
+    tracer.counter("power_sample", "power_w", ts_s=0.0, watts=312.5)
+    tracer.advance(0.2)
+    tracer.complete("decode_span", "decode", 0.2, 1.0, batch=2, steps=10)
+    tracer.instant("preempt", "preempt", ts_s=0.7, request_id=2)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_chrome_trace(tmp_path / "t.json", tracer.events,
+                                  metadata={"model": "m"})
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["otherData"] == {"model": "m"}
+        events = doc["traceEvents"]
+        payload = [e for e in events if e["ph"] not in ("M",)]
+        assert len(payload) == len(tracer.events)
+        for record in payload:
+            assert record["ph"] in ("X", "i", "C")
+            assert "ts" in record and record["ts"] >= 0
+            assert "cat" in record and "name" in record
+            assert "pid" in record and "tid" in record
+            if record["ph"] == "X":
+                assert "dur" in record and record["dur"] >= 0
+
+    def test_timestamps_in_microseconds_and_sorted(self):
+        doc = to_chrome_trace(_sample_tracer().events)
+        payload = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        stamps = [e["ts"] for e in payload]
+        assert stamps == sorted(stamps)
+        decode = next(e for e in payload if e["name"] == "decode")
+        assert decode["ts"] == 0.2 * 1e6
+        assert decode["dur"] == 1.0 * 1e6
+
+    def test_thread_metadata_per_category(self):
+        doc = to_chrome_trace(_sample_tracer().events)
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"admit", "prefill", "decode_span", "preempt",
+                "power_sample"} <= names
+
+    def test_empty_trace_still_valid(self):
+        doc = to_chrome_trace([])
+        assert doc["traceEvents"][0]["name"] == "process_name"
+        json.dumps(doc)  # serializable
+
+
+class TestSummary:
+    def test_span_aggregation_sorted_by_time(self):
+        text = trace_summary(_sample_tracer().events)
+        lines = text.splitlines()
+        decode_at = next(i for i, l in enumerate(lines) if "decode_span/decode" in l)
+        prefill_at = next(i for i, l in enumerate(lines) if "prefill/prefill" in l)
+        assert decode_at < prefill_at  # 1.0 s > 0.2 s
+        assert "#" in lines[decode_at]
+
+    def test_includes_metrics_snapshot(self):
+        registry = MetricsRegistry()
+        for v in (0.1, 0.2, 0.9):
+            registry.histogram("ttft_s").record(v)
+        text = trace_summary(_sample_tracer().events, registry.snapshot())
+        assert "ttft_s" in text
+        assert "p99" in text
+
+    def test_empty(self):
+        assert "no events" in trace_summary([])
+
+
+class TestTraceCommand:
+    def test_writes_valid_chrome_trace_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        summary_path = tmp_path / "summary.txt"
+        code = main(
+            [
+                "trace",
+                "--model", "LLaMA-2-7B",
+                "--hardware", "H100",
+                "--framework", "vLLM",
+                "--batch-size", "8",
+                "--input-tokens", "128",
+                "--output-tokens", "64",
+                "--output", str(out),
+                "--summary-output", str(summary_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        payload = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert payload, "trace should contain events"
+        for record in payload:
+            assert record["ph"] in ("X", "i", "C")
+            assert "ts" in record and "cat" in record
+            if record["ph"] == "X":
+                assert "dur" in record
+        categories = {e["cat"] for e in payload}
+        assert {"admit", "prefill", "decode_span"} <= categories
+        printed = capsys.readouterr().out
+        for token in ("p50", "p90", "p99", "ttft_s", "itl_s"):
+            assert token in printed
+        saved = summary_path.read_text(encoding="utf-8")
+        assert "p99" in saved and "timelines" in saved
+
+    def test_oom_exit_code(self, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                "--model", "LLaMA-2-70B",
+                "--hardware", "A100",
+                "--framework", "llama.cpp",
+                "--output", str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out
+
+    def test_poisson_workload(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--model", "LLaMA-3-8B",
+                "--hardware", "A100",
+                "--framework", "vLLM",
+                "--batch-size", "4",
+                "--input-tokens", "128",
+                "--output-tokens", "32",
+                "--rate", "8.0",
+                "--num-requests", "8",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "8 requests" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the event tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs.tracer import CATEGORIES, NULL_TRACER, EventTracer, TraceEvent, Tracer
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_methods_are_noops(self):
+        NULL_TRACER.advance(5.0)
+        NULL_TRACER.instant("admit", "x", request_id=1)
+        NULL_TRACER.complete("prefill", "x", 0.0, 1.0)
+        NULL_TRACER.counter("kv_alloc", "x", used=3)
+        assert NULL_TRACER.now_s == 0.0
+
+    def test_no_event_storage(self):
+        # The null tracer must stay allocation-free: no event list at all.
+        assert not hasattr(NULL_TRACER, "events")
+
+    def test_shared_instance_is_stateless(self):
+        # advance() on the singleton must not leak state between engines.
+        NULL_TRACER.advance(100.0)
+        assert NULL_TRACER.now_s == 0.0
+
+
+class TestEventTracer:
+    def test_records_instants_at_clock(self):
+        tracer = EventTracer()
+        tracer.advance(1.5)
+        tracer.instant("admit", "admit", request_id=7)
+        (event,) = tracer.events
+        assert event.ts_s == 1.5
+        assert event.category == "admit"
+        assert event.phase == "i"
+        assert event.args["request_id"] == 7
+
+    def test_explicit_timestamp_overrides_clock(self):
+        tracer = EventTracer()
+        tracer.advance(2.0)
+        tracer.instant("admit", "admit", ts_s=0.25)
+        assert tracer.events[0].ts_s == 0.25
+
+    def test_clock_is_monotonic(self):
+        tracer = EventTracer()
+        tracer.advance(3.0)
+        tracer.advance(3.0)  # equal is fine
+        with pytest.raises(ValueError, match="backwards"):
+            tracer.advance(2.9)
+
+    def test_complete_rejects_negative_duration(self):
+        tracer = EventTracer()
+        with pytest.raises(ValueError, match="duration"):
+            tracer.complete("prefill", "prefill", 0.0, -1.0)
+
+    def test_event_order_follows_emission_with_monotonic_clock(self):
+        tracer = EventTracer()
+        for i in range(10):
+            tracer.advance(float(i))
+            tracer.instant("engine", f"tick{i}")
+        stamps = [e.ts_s for e in tracer.events]
+        assert stamps == sorted(stamps)
+
+    def test_counter_event_phase(self):
+        tracer = EventTracer()
+        tracer.counter("kv_alloc", "kv_pool", used_tokens=10, capacity_tokens=100)
+        assert tracer.events[0].phase == "C"
+        assert tracer.events[0].args == {"used_tokens": 10, "capacity_tokens": 100}
+
+    def test_events_in_filters_by_category(self):
+        tracer = EventTracer()
+        tracer.instant("admit", "a")
+        tracer.instant("preempt", "b")
+        tracer.instant("admit", "c")
+        assert [e.name for e in tracer.events_in("admit")] == ["a", "c"]
+
+    def test_clear_resets_clock_and_events(self):
+        tracer = EventTracer()
+        tracer.advance(9.0)
+        tracer.instant("engine", "x")
+        tracer.clear()
+        assert tracer.events == []
+        tracer.advance(0.5)  # would raise if the clock had not reset
+
+    def test_span_end(self):
+        event = TraceEvent("decode", "decode_span", "X", 1.0, 2.5)
+        assert event.end_s() == 3.5
+
+    def test_known_categories_include_issue_set(self):
+        for category in ("admit", "prefill", "decode_span", "preempt",
+                         "kv_alloc", "power_sample"):
+            assert category in CATEGORIES

@@ -11,7 +11,7 @@ from repro.perf.phases import Deployment
 from repro.runtime.engine import ServingEngine
 from repro.runtime.paged_kv import AllocationError, PagedKVAllocator
 from repro.runtime.scheduler import ContinuousBatchingScheduler
-from repro.runtime.trace import fixed_batch_trace
+from repro.runtime.workload import fixed_batch_trace
 
 
 def _dep():

@@ -167,7 +167,7 @@ class TestEngineProperties:
         exactly its token budget, timestamps are ordered, and the
         allocator pool drains back to empty."""
         from repro.runtime.engine import ServingEngine
-        from repro.runtime.trace import fixed_batch_trace
+        from repro.runtime.workload import fixed_batch_trace
 
         engine = ServingEngine(_DEP, max_concurrency=concurrency)
         result = engine.run(fixed_batch_trace(batch, input_tokens, output_tokens))
@@ -186,7 +186,7 @@ class TestEngineProperties:
     @settings(max_examples=15, deadline=None)
     def test_optimistic_engine_conserves_tokens(self, batch, concurrency):
         from repro.runtime.engine import ServingEngine
-        from repro.runtime.trace import fixed_batch_trace
+        from repro.runtime.workload import fixed_batch_trace
 
         engine = ServingEngine(_DEP, max_concurrency=concurrency, optimistic=True)
         result = engine.run(fixed_batch_trace(batch, 64, 48))

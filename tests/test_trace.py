@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.trace import (
+from repro.runtime.workload import (
     TraceSummary,
     blended_trace,
     fixed_batch_trace,
@@ -89,3 +89,17 @@ class TestTraceSummary:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             TraceSummary.of([])
+
+
+class TestDeprecatedTraceShim:
+    def test_old_module_name_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.runtime.trace", None)
+        with pytest.warns(DeprecationWarning, match="repro.runtime.workload"):
+            shim = importlib.import_module("repro.runtime.trace")
+        assert shim.fixed_batch_trace is fixed_batch_trace
+        assert shim.poisson_trace is poisson_trace
+        assert shim.blended_trace is blended_trace
+        assert shim.TraceSummary is TraceSummary
