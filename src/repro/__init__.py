@@ -19,6 +19,12 @@ Quickstart
 
 from repro.analysis import BottleneckReport, analyze, find_peak_batch
 from repro.bench import BenchmarkRunner, run_experiment
+from repro.cluster import (
+    ClusterCapacityPlanner,
+    ClusterSimulator,
+    DisaggregationSpec,
+    get_router,
+)
 from repro.core import GenerationConfig, InferenceMetrics, Precision, ResultTable
 from repro.frameworks import get_framework, list_frameworks
 from repro.hardware import get_hardware, list_hardware
@@ -35,6 +41,10 @@ __all__ = [
     "find_peak_batch",
     "BenchmarkRunner",
     "run_experiment",
+    "ClusterCapacityPlanner",
+    "ClusterSimulator",
+    "DisaggregationSpec",
+    "get_router",
     "GenerationConfig",
     "InferenceMetrics",
     "Precision",

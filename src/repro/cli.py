@@ -16,6 +16,10 @@ trace --model M --hardware H --framework F [--batch-size N] [--rate R]
     Run one workload on the event engine with tracing enabled; write
     Chrome ``trace_event`` JSON (Perfetto-loadable) and print the
     flamegraph-style summary with TTFT/ITL percentiles.
+cluster --model M --hardware H --framework F [--replicas N] [--router R]
+    Simulate a multi-replica serving cluster behind a routing policy
+    (optionally prefill/decode-disaggregated), or size the fleet for an
+    SLO goodput target with ``--plan-target``.
 """
 
 from __future__ import annotations
@@ -117,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="request count for --rate workloads (default 4x batch size)",
     )
+    trace_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed for --rate arrival draws")
     trace_p.add_argument("--optimistic", action="store_true",
                          help="vLLM optimistic admission (preempt+recompute)")
     trace_p.add_argument("--output", default="trace.json",
@@ -125,6 +131,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the text summary to this file")
     trace_p.add_argument("--timelines", type=int, default=8, metavar="N",
                          help="show the N slowest-TTFT request timelines")
+
+    from repro.cluster import list_routers
+
+    cluster_p = sub.add_parser(
+        "cluster", help="simulate a multi-replica serving cluster"
+    )
+    cluster_p.add_argument("--model", required=True)
+    cluster_p.add_argument("--hardware", required=True)
+    cluster_p.add_argument("--framework", required=True)
+    cluster_p.add_argument("--replicas", type=int, default=4)
+    cluster_p.add_argument("--router", default="least-outstanding",
+                           choices=list_routers())
+    cluster_p.add_argument("--rate", type=float, default=8.0,
+                           help="offered Poisson arrival rate (req/s)")
+    cluster_p.add_argument("--num-requests", type=int, default=64)
+    cluster_p.add_argument("--mean-input-tokens", type=int, default=512)
+    cluster_p.add_argument("--mean-output-tokens", type=int, default=256)
+    cluster_p.add_argument("--max-concurrency", type=int, default=32)
+    cluster_p.add_argument("--seed", type=int, default=0,
+                           help="RNG seed for arrivals, lengths and routing")
+    cluster_p.add_argument(
+        "--prefill-replicas", type=int, default=0,
+        help="dedicated prefill replicas (> 0 enables disaggregation)",
+    )
+    cluster_p.add_argument(
+        "--shared-prefixes", type=int, default=0,
+        help="use a shared-prefix workload with this many distinct prefixes",
+    )
+    cluster_p.add_argument("--prefix-tokens", type=int, default=1024,
+                           help="prefix length for --shared-prefixes")
+    cluster_p.add_argument("--unique-tokens", type=int, default=128,
+                           help="per-request suffix for --shared-prefixes")
+    cluster_p.add_argument(
+        "--plan-target", type=float, default=None, metavar="RPS",
+        help="size the fleet for this SLO goodput target instead",
+    )
+    cluster_p.add_argument("--max-replicas", type=int, default=16,
+                           help="replica cap for --plan-target")
+    cluster_p.add_argument(
+        "--trace-output", default=None, metavar="PATH",
+        help="trace the run; write per-replica Chrome trace JSON here",
+    )
     return parser
 
 
@@ -235,7 +283,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.rate is not None:
         num = args.num_requests or 4 * args.batch_size
         workload = poisson_trace(
-            num, args.rate, args.input_tokens, args.output_tokens
+            num, args.rate, args.input_tokens, args.output_tokens, seed=args.seed
         )
     else:
         workload = fixed_batch_trace(
@@ -287,6 +335,99 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterCapacityPlanner,
+        ClusterSimulator,
+        DisaggregationSpec,
+        get_router,
+    )
+    from repro.obs.export import to_chrome_trace_multi
+    from repro.runtime.loadgen import ServiceLevelObjective
+    from repro.runtime.memory_manager import OutOfMemoryError
+    from repro.runtime.workload import open_loop_trace, shared_prefix_trace
+
+    runner = BenchmarkRunner(use_engine=True)
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    slo = ServiceLevelObjective()
+
+    if args.plan_target is not None:
+        planner = ClusterCapacityPlanner(
+            dep,
+            slo=slo,
+            router_factory=lambda: get_router(args.router, seed=args.seed),
+            num_requests=args.num_requests,
+            mean_input_tokens=args.mean_input_tokens,
+            mean_output_tokens=args.mean_output_tokens,
+            max_concurrency=args.max_concurrency,
+            seed=args.seed,
+        )
+        plan = planner.plan(args.plan_target, max_replicas=args.max_replicas)
+        print(plan.render())
+        return 0 if plan.feasible else 1
+
+    if args.shared_prefixes > 0:
+        workload = shared_prefix_trace(
+            args.num_requests,
+            args.rate,
+            num_prefixes=args.shared_prefixes,
+            prefix_tokens=args.prefix_tokens,
+            unique_tokens=args.unique_tokens,
+            output_tokens=args.mean_output_tokens,
+            seed=args.seed,
+        )
+    else:
+        workload = open_loop_trace(
+            args.num_requests,
+            args.rate,
+            args.mean_input_tokens,
+            args.mean_output_tokens,
+            seed=args.seed,
+        )
+    disagg = (
+        DisaggregationSpec(num_prefill_replicas=args.prefill_replicas)
+        if args.prefill_replicas > 0
+        else None
+    )
+    simulator = ClusterSimulator(
+        dep,
+        args.replicas,
+        router=get_router(args.router, seed=args.seed),
+        max_concurrency=args.max_concurrency,
+        disaggregation=disagg,
+        traced=args.trace_output is not None,
+    )
+    try:
+        result = simulator.run(workload)
+    except OutOfMemoryError as exc:
+        print(f"OOM: {exc}")
+        return 1
+    print(
+        f"{dep.model.name} / {dep.hardware.name} x{dep.num_devices} / "
+        f"{dep.framework.name}"
+    )
+    print(result.render())
+    print(result.load_report(args.rate, slo=slo).render())
+    if args.trace_output:
+        import json as _json
+
+        payload = to_chrome_trace_multi(
+            result.replica_events,
+            metadata={
+                "model": dep.model.name,
+                "hardware": dep.hardware.name,
+                "framework": dep.framework.name,
+                "replicas": len(result.replicas),
+                "router": result.router_name,
+                "makespan_s": result.makespan_s,
+            },
+        )
+        with open(args.trace_output, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=1)
+        print(f"wrote {args.trace_output} — open in https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.bench.validation import cross_validate
 
@@ -315,6 +456,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,46 @@
+"""Cluster serving simulator: replicas, routers, disaggregation, planning.
+
+Scales the single-engine discrete-event simulator
+(:mod:`repro.runtime.engine`) out to a fleet: N independent replicas
+behind a pluggable routing policy, optional prefill/decode
+disaggregation with interconnect-priced KV handoffs, and a capacity
+planner that sizes the fleet for an SLO goodput target.
+"""
+
+from repro.cluster.disagg import DisaggregationSpec, kv_transfer_time
+from repro.cluster.planner import CapacityPlan, ClusterCapacityPlanner
+from repro.cluster.router import (
+    ROUTER_NAMES,
+    LeastOutstandingTokensRouter,
+    PowerOfTwoChoicesRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+    Router,
+    get_router,
+    list_routers,
+)
+from repro.cluster.simulator import (
+    ClusterResult,
+    ClusterSimulator,
+    Replica,
+    ReplicaReport,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "ClusterCapacityPlanner",
+    "ClusterResult",
+    "ClusterSimulator",
+    "DisaggregationSpec",
+    "LeastOutstandingTokensRouter",
+    "PowerOfTwoChoicesRouter",
+    "PrefixAffinityRouter",
+    "Replica",
+    "ReplicaReport",
+    "ROUTER_NAMES",
+    "RoundRobinRouter",
+    "Router",
+    "get_router",
+    "kv_transfer_time",
+    "list_routers",
+]

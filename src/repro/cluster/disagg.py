@@ -1,0 +1,65 @@
+"""Prefill/decode disaggregation: dedicated roles plus KV handoff cost.
+
+Disaggregated serving (DistServe, Splitwise, llm-d's P/D separation) runs
+prompt processing on dedicated *prefill* replicas and token generation on
+*decode* replicas, so long prompts stop stalling interactive streams.
+The price is moving the prompt's KV cache across the fabric once per
+request: ``context_tokens x kv_bytes_per_token`` over the cluster
+interconnect, modelled with the same alpha-beta point-to-point cost
+(:func:`repro.hardware.interconnect.p2p_time`) the multi-node estimator
+uses for pipeline activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import p2p_time
+from repro.hardware.spec import InterconnectSpec
+from repro.models.kvcache import kv_bytes_per_token
+from repro.perf.multinode import INFINIBAND_NDR
+from repro.perf.phases import Deployment
+
+__all__ = ["DisaggregationSpec", "kv_transfer_time"]
+
+
+@dataclass(frozen=True)
+class DisaggregationSpec:
+    """Shape of a disaggregated cluster: prefill fleet + transfer fabric.
+
+    ``num_prefill_replicas`` dedicated prefill engines feed the decode
+    fleet over ``interconnect``.  The handoff lands on the decode replica
+    as a one-token attach pass (the KV is already materialized), charged
+    after the transfer delay.
+    """
+
+    num_prefill_replicas: int
+    interconnect: InterconnectSpec = INFINIBAND_NDR
+
+    def __post_init__(self) -> None:
+        if self.num_prefill_replicas < 1:
+            raise ValueError(
+                f"num_prefill_replicas must be >= 1, got "
+                f"{self.num_prefill_replicas}"
+            )
+
+
+def kv_transfer_time(
+    deployment: Deployment,
+    context_tokens: int,
+    interconnect: InterconnectSpec,
+) -> float:
+    """Seconds to move ``context_tokens`` of KV state between replicas.
+
+    Volume is the model's per-token KV footprint at the deployment's KV
+    precision; the framework's communication overhead factor applies, as
+    it does to every other fabric transfer in the performance model.
+    """
+    if context_tokens < 1:
+        raise ValueError(f"context_tokens must be >= 1, got {context_tokens}")
+    volume = context_tokens * kv_bytes_per_token(
+        deployment.model, deployment.kv_spec.precision
+    )
+    return p2p_time(interconnect, volume) * (
+        deployment.framework.comm_overhead_factor
+    )

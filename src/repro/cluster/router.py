@@ -1,0 +1,177 @@
+"""Request routers for the multi-replica cluster simulator.
+
+A router picks which replica serves each arriving request, using only the
+state a production router would see at the balancing tier: per-replica
+queue depth, outstanding work, KV occupancy and (for affinity routing)
+which replica previously served a shared prompt prefix.  The policies
+mirror the llm-d / production serving literature:
+
+* **round-robin** — the baseline; blind to load, so long prompts pile up
+  on unlucky replicas.
+* **least-outstanding-tokens** — route to the replica with the least
+  unfinished work (prefill owed + output still to emit), the token-level
+  analogue of least-outstanding-requests.
+* **power-of-two-choices** — sample two replicas, pick the less loaded;
+  near the balance of least-outstanding at O(1) state reads.
+* **prefix-affinity** — send repeats of a shared prompt prefix to the
+  replica already holding its KV blocks (KV-cache-aware routing); falls
+  back to least-outstanding for first-seen prefixes.
+
+Routers are deterministic given their seed, so cluster simulations are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.request import GenerationRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.simulator import Replica
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "PowerOfTwoChoicesRouter",
+    "PrefixAffinityRouter",
+    "ROUTER_NAMES",
+    "get_router",
+    "list_routers",
+]
+
+
+class Router:
+    """Routing-policy interface; subclasses override :meth:`route`."""
+
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def route(
+        self,
+        request: GenerationRequest,
+        replicas: Sequence["Replica"],
+        now: float,
+    ) -> "Replica":
+        """Pick the replica that serves ``request`` (arriving at ``now``)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(replicas: Sequence["Replica"]) -> None:
+        if not replicas:
+            raise ValueError("cannot route: no replicas")
+
+
+def _least_outstanding(replicas: Sequence["Replica"]) -> "Replica":
+    """Lowest outstanding-token replica; ties break to the lowest index."""
+    return min(replicas, key=lambda r: (r.outstanding_tokens, r.index))
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in index order, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._next = 0
+
+    def route(self, request, replicas, now):
+        self._require(replicas)
+        chosen = replicas[self._next % len(replicas)]
+        self._next += 1
+        return chosen
+
+
+class LeastOutstandingTokensRouter(Router):
+    """Route to the replica with the least unfinished token work."""
+
+    name = "least-outstanding"
+
+    def route(self, request, replicas, now):
+        self._require(replicas)
+        return _least_outstanding(replicas)
+
+
+class PowerOfTwoChoicesRouter(Router):
+    """Sample two replicas uniformly; route to the less loaded one.
+
+    The classic balanced-allocations result: two random choices already
+    collapse the max-load gap exponentially versus one, while reading the
+    state of only two replicas per decision.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._rng = np.random.default_rng(seed)
+
+    def route(self, request, replicas, now):
+        self._require(replicas)
+        if len(replicas) == 1:
+            return replicas[0]
+        i, j = self._rng.choice(len(replicas), size=2, replace=False)
+        return _least_outstanding([replicas[int(i)], replicas[int(j)]])
+
+
+class PrefixAffinityRouter(Router):
+    """KV-cache-aware routing: pin each shared prefix to one replica.
+
+    The first request of a prefix picks the least-loaded replica and
+    records it as the prefix's home; repeats follow, landing where the
+    prefix's KV blocks already live so their prefill covers only the
+    unique suffix.  Prefix-less requests fall back to least-outstanding.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._home: dict[int, int] = {}  # prefix_id -> replica index
+
+    def route(self, request, replicas, now):
+        self._require(replicas)
+        prefix_id = request.prefix_id
+        if prefix_id is None:
+            return _least_outstanding(replicas)
+        home = self._home.get(prefix_id)
+        if home is not None:
+            for replica in replicas:
+                if replica.index == home:
+                    return replica
+            # Home replica not eligible (e.g. role change): re-pin below.
+        chosen = _least_outstanding(replicas)
+        self._home[prefix_id] = chosen.index
+        return chosen
+
+
+ROUTER_NAMES: dict[str, type[Router]] = {
+    cls.name: cls
+    for cls in (
+        RoundRobinRouter,
+        LeastOutstandingTokensRouter,
+        PowerOfTwoChoicesRouter,
+        PrefixAffinityRouter,
+    )
+}
+
+
+def get_router(name: str, seed: int = 0) -> Router:
+    """Instantiate a router policy by registry name."""
+    try:
+        cls = ROUTER_NAMES[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTER_NAMES))
+        raise KeyError(f"unknown router {name!r} (known: {known})") from None
+    return cls(seed=seed)
+
+
+def list_routers() -> list[str]:
+    return sorted(ROUTER_NAMES)

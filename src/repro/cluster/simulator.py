@@ -1,0 +1,479 @@
+"""Discrete-event cluster simulator: N serving replicas behind a router.
+
+Each replica is a full :class:`~repro.runtime.engine.ServingEngine` — its
+own scheduler, memory manager and paged-KV allocator — advanced as a
+resumable :class:`~repro.runtime.engine.EngineRun`.  The simulator owns a
+global event heap (request arrivals, disaggregated KV handoffs) and
+interleaves replica iterations with routing decisions under a min-clock
+discipline: the least-advanced working replica always steps first, so
+every routing decision sees fleet state no more than one committed
+iteration stale — the same information horizon a real balancing tier has.
+
+A 1-replica cluster reproduces a standalone ``ServingEngine.run`` bit-
+identically (tested): routing degenerates to submission in arrival order,
+and the ``pressure`` hook keeps iteration boundaries where the single
+engine would put them.
+
+With a :class:`~repro.cluster.disagg.DisaggregationSpec`, dedicated
+prefill replicas run prompt processing only; finished prefills hand their
+KV state to a decode replica after an interconnect-priced transfer delay
+(:func:`~repro.cluster.disagg.kv_transfer_time`), landing as a one-token
+attach pass.  TTFT is served from the prefill side, the remaining tokens
+stream from the decode side.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.disagg import DisaggregationSpec, kv_transfer_time
+from repro.cluster.router import LeastOutstandingTokensRouter, Router, _least_outstanding
+from repro.core.request import GenerationRequest, RequestState
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracer import EventTracer, TraceEvent
+from repro.perf.phases import Deployment
+from repro.runtime.engine import EngineResult, EngineRun, ServingEngine
+from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, summarize_requests
+
+__all__ = ["Replica", "ReplicaReport", "ClusterResult", "ClusterSimulator"]
+
+_ARRIVAL = "arrival"
+_HANDOFF = "handoff"
+
+
+class Replica:
+    """One serving engine plus the router-visible state around it."""
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        engine: ServingEngine,
+        run: EngineRun,
+        role: str = "unified",
+        prefix_cache_slots: int = 2,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.engine = engine
+        self.run = run
+        self.role = role
+        # Bounded LRU of resident prompt prefixes: real prefix caches hold
+        # a handful of hot prefixes before block eviction reclaims them,
+        # which is exactly why KV-cache-aware routing pays — a replica
+        # that sees every prefix in rotation keeps none of them warm.
+        self.prefix_cache_slots = prefix_cache_slots
+        self._prefix_lru: dict[int, None] = {}  # insertion-ordered LRU
+        self.served: list[GenerationRequest] = []  # originals routed here
+
+    def touch_prefix(self, prefix_id: int) -> bool:
+        """Record a prefix use; True if its KV was resident (cache hit)."""
+        lru = self._prefix_lru
+        hit = prefix_id in lru
+        if hit:
+            lru.pop(prefix_id)  # move to most-recently-used
+        lru[prefix_id] = None
+        while len(lru) > self.prefix_cache_slots:
+            lru.pop(next(iter(lru)))  # evict least-recently-used
+        return hit
+
+    # Router-facing summaries (delegated to the live run).
+
+    @property
+    def now(self) -> float:
+        return self.run.now
+
+    @property
+    def has_work(self) -> bool:
+        return self.run.has_work
+
+    @property
+    def outstanding_tokens(self) -> int:
+        return self.run.outstanding_tokens
+
+    @property
+    def queue_depth(self) -> int:
+        return self.run.queue_depth
+
+    @property
+    def kv_used_fraction(self) -> float:
+        return self.run.kv_used_fraction
+
+
+@dataclass(frozen=True)
+class ReplicaReport:
+    """Per-replica outcome of one cluster run."""
+
+    name: str
+    role: str
+    requests_served: int
+    busy_s: float
+    utilization: float  # busy time over the cluster makespan
+    result: EngineResult
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster simulation."""
+
+    requests: list[GenerationRequest]
+    replicas: list[ReplicaReport]
+    makespan_s: float
+    router_name: str
+    metrics: MetricsSnapshot
+    prefix_hits: int = 0
+    handoffs: int = 0
+    transfer_s_total: float = 0.0
+    average_power_w: float = 0.0
+    replica_events: dict[str, list[TraceEvent]] = field(default_factory=dict)
+
+    def load_report(
+        self,
+        offered_rate_rps: float,
+        slo: ServiceLevelObjective | None = None,
+    ) -> LoadReport:
+        """Cluster-scope SLO/goodput accounting (same path as one engine)."""
+        return summarize_requests(
+            self.requests,
+            self.makespan_s,
+            offered_rate_rps,
+            slo=slo,
+            average_power_w=self.average_power_w,
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"cluster: {len(self.replicas)} replicas, router {self.router_name}, "
+            f"{len(self.requests)} requests, makespan {self.makespan_s:.2f} s"
+        ]
+        if self.handoffs:
+            lines.append(
+                f"disaggregated: {self.handoffs} KV handoffs, "
+                f"{self.transfer_s_total:.3f} s total transfer"
+            )
+        if self.prefix_hits:
+            lines.append(f"prefix-cache hits: {self.prefix_hits}")
+        lines.append(
+            f"{'replica':<12}{'role':<10}{'requests':>9}{'busy s':>10}{'util':>7}"
+        )
+        for rep in self.replicas:
+            lines.append(
+                f"{rep.name:<12}{rep.role:<10}{rep.requests_served:>9d}"
+                f"{rep.busy_s:>10.2f}{rep.utilization:>7.0%}"
+            )
+        return "\n".join(lines)
+
+
+class ClusterSimulator:
+    """Runs a request trace across N replicas behind a routing policy.
+
+    ``num_replicas`` serving replicas share one ``deployment`` shape; with
+    ``disaggregation`` set, ``disaggregation.num_prefill_replicas``
+    *additional* prefill-only replicas take arrivals and hand finished
+    prompts to the serving (decode) fleet.  Pass a fresh :class:`Router`
+    per run — policies carry state (cursors, prefix homes).
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        num_replicas: int,
+        router: Router | None = None,
+        max_concurrency: int = 32,
+        optimistic: bool = False,
+        disaggregation: DisaggregationSpec | None = None,
+        prefix_cache_slots: int = 2,
+        traced: bool = False,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        if prefix_cache_slots < 1:
+            raise ValueError(
+                f"prefix_cache_slots must be >= 1, got {prefix_cache_slots}"
+            )
+        self.deployment = deployment
+        self.num_replicas = num_replicas
+        self.router = router or LeastOutstandingTokensRouter()
+        self.max_concurrency = max_concurrency
+        self.optimistic = optimistic
+        self.prefix_cache_slots = prefix_cache_slots
+        self.disaggregation = disaggregation
+        self.traced = traced
+        # Run-scoped state (initialized in run()).
+        self._prefill_fleet: list[Replica] = []
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._orig_by_proxy: dict[int, GenerationRequest] = {}
+        self._registry = MetricsRegistry()
+        self._prefix_hits = 0
+        self._handoffs = 0
+        self._transfer_s = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _build_replicas(self) -> tuple[list[Replica], list[Replica], list[Replica]]:
+        """(all, arrival-eligible, decode-eligible) replica lists."""
+        disagg = self.disaggregation
+        roles: list[str] = []
+        if disagg is not None:
+            roles += ["prefill"] * disagg.num_prefill_replicas
+            roles += ["decode"] * self.num_replicas
+        else:
+            roles += ["unified"] * self.num_replicas
+        replicas: list[Replica] = []
+        pressure = self._pressure
+        for index, role in enumerate(roles):
+            tracer = EventTracer() if self.traced else None
+            engine = ServingEngine(
+                self.deployment,
+                max_concurrency=self.max_concurrency,
+                optimistic=self.optimistic,
+                **({"tracer": tracer} if tracer is not None else {}),
+            )
+            name = f"{role}{index}" if disagg is not None else f"replica{index}"
+            replicas.append(
+                Replica(
+                    index,
+                    name,
+                    engine,
+                    engine.start(pressure=pressure),
+                    role,
+                    prefix_cache_slots=self.prefix_cache_slots,
+                )
+            )
+        if disagg is not None:
+            arrival_pool = [r for r in replicas if r.role == "prefill"]
+            decode_pool = [r for r in replicas if r.role == "decode"]
+        else:
+            arrival_pool = decode_pool = replicas
+        self._prefill_fleet = arrival_pool if disagg is not None else []
+        return replicas, arrival_pool, decode_pool
+
+    def _pressure(self) -> bool:
+        """More work may still route here: hold single-step boundaries.
+
+        True while undispatched events remain on the heap or (in
+        disaggregated mode) any prefill replica still holds work whose
+        retirement will spawn a KV handoff.
+        """
+        if self._events:
+            return True
+        return any(r.has_work for r in self._prefill_fleet)
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: list[GenerationRequest]) -> ClusterResult:
+        """Route and execute ``trace`` to completion across the fleet."""
+        if not trace:
+            raise ValueError("trace is empty")
+        self._events = []
+        self._seq = itertools.count()
+        self._orig_by_proxy = {}
+        self._registry = MetricsRegistry()
+        self._prefix_hits = 0
+        self._handoffs = 0
+        self._transfer_s = 0.0
+
+        replicas, arrival_pool, decode_pool = self._build_replicas()
+        for request in sorted(trace, key=lambda r: r.arrival_time):
+            self._push(request.arrival_time, _ARRIVAL, request)
+
+        while True:
+            if self._events:
+                t_next = self._events[0][0]
+                candidates = [
+                    r for r in replicas if r.has_work and r.now < t_next
+                ]
+                if candidates:
+                    self._step(min(candidates, key=lambda r: (r.now, r.index)),
+                               horizon=t_next, decode_pool=decode_pool)
+                    continue
+                ts, _, kind, payload = heapq.heappop(self._events)
+                if kind == _ARRIVAL:
+                    self._dispatch_arrival(payload, arrival_pool, replicas)
+                else:
+                    self._dispatch_handoff(payload, decode_pool, ts)
+                continue
+            working = [r for r in replicas if r.has_work]
+            if not working:
+                break
+            self._step(min(working, key=lambda r: (r.now, r.index)),
+                       horizon=None, decode_pool=decode_pool)
+
+        return self._finalize(trace, replicas)
+
+    # ------------------------------------------------------------------
+
+    def _push(self, ts: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (ts, next(self._seq), kind, payload))
+
+    def _step(
+        self,
+        replica: Replica,
+        horizon: float | None,
+        decode_pool: list[Replica],
+    ) -> None:
+        retired = replica.run.step(horizon=horizon)
+        if self.disaggregation is None:
+            return
+        for proxy in retired:
+            orig = self._orig_by_proxy.pop(proxy.request_id, None)
+            if orig is None:
+                continue
+            if replica.role == "prefill":
+                self._complete_prefill(orig, proxy)
+            else:
+                self._complete_decode(orig, proxy)
+
+    def _complete_prefill(
+        self, orig: GenerationRequest, proxy: GenerationRequest
+    ) -> None:
+        """Stitch TTFT from the prefill side; schedule the KV handoff."""
+        orig.admit_time = proxy.admit_time
+        orig.first_token_time = proxy.first_token_time
+        if orig.output_tokens == 1:
+            orig.finish_time = proxy.finish_time
+            orig.generated_tokens = 1
+            orig.state = RequestState.FINISHED
+            return
+        assert self.disaggregation is not None
+        context = orig.input_tokens + 1
+        transfer = kv_transfer_time(
+            self.deployment, context, self.disaggregation.interconnect
+        )
+        self._handoffs += 1
+        self._transfer_s += transfer
+        self._push(proxy.finish_time + transfer, _HANDOFF, orig)
+
+    def _complete_decode(
+        self, orig: GenerationRequest, proxy: GenerationRequest
+    ) -> None:
+        orig.finish_time = proxy.finish_time
+        orig.generated_tokens = orig.output_tokens
+        orig.state = RequestState.FINISHED
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_arrival(
+        self,
+        request: GenerationRequest,
+        arrival_pool: list[Replica],
+        replicas: list[Replica],
+    ) -> None:
+        now = request.arrival_time
+        self._sample_gauges(replicas, now)
+        chosen = self.router.route(request, arrival_pool, now)
+        cached = 0
+        if request.prefix_id is not None and request.prefix_tokens > 0:
+            if chosen.touch_prefix(request.prefix_id):
+                cached = request.prefix_tokens
+                self._prefix_hits += 1
+        chosen.served.append(request)
+        if self.disaggregation is None:
+            request.cached_prefix_tokens = cached
+            chosen.run.submit(request)
+            return
+        proxy = GenerationRequest(
+            input_tokens=request.input_tokens,
+            output_tokens=1,
+            arrival_time=now,
+            prefix_id=request.prefix_id,
+            prefix_tokens=request.prefix_tokens,
+            cached_prefix_tokens=cached,
+        )
+        self._orig_by_proxy[proxy.request_id] = request
+        chosen.run.submit(proxy)
+
+    def _dispatch_handoff(
+        self, orig: GenerationRequest, decode_pool: list[Replica], ts: float
+    ) -> None:
+        chosen = _least_outstanding(decode_pool)
+        chosen.served.append(orig)
+        context = orig.input_tokens + 1
+        # The KV arrived with the transfer: admission re-prefills a single
+        # attach token, then decoding continues from the second token.
+        proxy = GenerationRequest(
+            input_tokens=context,
+            output_tokens=orig.output_tokens - 1,
+            arrival_time=ts,
+            prefix_tokens=context - 1,
+            cached_prefix_tokens=context - 1,
+        )
+        self._orig_by_proxy[proxy.request_id] = orig
+        chosen.run.submit(proxy)
+
+    # ------------------------------------------------------------------
+
+    def _sample_gauges(self, replicas: list[Replica], now: float) -> None:
+        """Per-replica fleet gauges at each routing instant."""
+        registry = self._registry
+        for replica in replicas:
+            registry.gauge(f"{replica.name}.queue_depth").set(
+                replica.queue_depth, ts_s=now
+            )
+            registry.gauge(f"{replica.name}.outstanding_tokens").set(
+                replica.outstanding_tokens, ts_s=now
+            )
+            registry.gauge(f"{replica.name}.kv_occupancy").set(
+                replica.kv_used_fraction, ts_s=now
+            )
+
+    def _finalize(
+        self, trace: list[GenerationRequest], replicas: list[Replica]
+    ) -> ClusterResult:
+        registry = self._registry
+        makespan = max((r.now for r in replicas), default=0.0)
+        energy_j = 0.0
+        reports: list[ReplicaReport] = []
+        events: dict[str, list[TraceEvent]] = {}
+        for replica in replicas:
+            run = replica.run
+            result = run.result()
+            busy = max(0.0, run.now - run.idle_s)
+            energy_j += run.energy_j
+            # Replicas that drain early idle until the cluster finishes.
+            energy_j += (makespan - run.now) * replica.engine._power.group_power_w(0.0)
+            reports.append(
+                ReplicaReport(
+                    name=replica.name,
+                    role=replica.role,
+                    requests_served=len(replica.served),
+                    busy_s=busy,
+                    utilization=busy / makespan if makespan > 0 else 0.0,
+                    result=result,
+                )
+            )
+            registry.counter("preemptions").inc(result.scheduler_stats.preemptions)
+            if self.traced and isinstance(replica.engine.tracer, EventTracer):
+                events[replica.name] = replica.engine.tracer.events
+
+        for request in trace:
+            if request.first_token_time is None:
+                continue
+            registry.histogram("ttft_s").record(request.ttft_s)
+            if request.finish_time is None:
+                continue
+            registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+            if request.output_tokens > 1:
+                gap = (request.finish_time - request.first_token_time) / (
+                    request.output_tokens - 1
+                )
+                registry.histogram("itl_s").record(gap)
+        registry.counter("routed").inc(len(trace))
+        registry.counter("prefix_hits").inc(self._prefix_hits)
+        registry.counter("handoffs").inc(self._handoffs)
+
+        return ClusterResult(
+            requests=list(trace),
+            replicas=reports,
+            makespan_s=makespan,
+            router_name=self.router.name,
+            metrics=registry.snapshot(),
+            prefix_hits=self._prefix_hits,
+            handoffs=self._handoffs,
+            transfer_s_total=self._transfer_s,
+            average_power_w=energy_j / makespan if makespan > 0 else 0.0,
+            replica_events=events,
+        )

@@ -88,6 +88,14 @@ class GenerationRequest:
     # ``preemptions`` counts how often that happened.
     restart_context: int = 0
     preemptions: int = 0
+    # Shared-prefix identity (cluster routing): requests carrying the same
+    # ``prefix_id`` open with an identical ``prefix_tokens``-long prompt
+    # prefix (a system prompt, a chat session).  When the serving side
+    # already holds that prefix's KV blocks it sets
+    # ``cached_prefix_tokens`` so prefill covers only the suffix.
+    prefix_id: int | None = None
+    prefix_tokens: int = 0
+    cached_prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1:
@@ -96,6 +104,15 @@ class GenerationRequest:
             raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
         if self.arrival_time < 0.0:
             raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if not 0 <= self.prefix_tokens <= self.input_tokens:
+            raise ValueError(
+                f"prefix_tokens must be in [0, input_tokens], got {self.prefix_tokens}"
+            )
+        if not 0 <= self.cached_prefix_tokens <= self.prefix_tokens:
+            raise ValueError(
+                "cached_prefix_tokens must be in [0, prefix_tokens], got "
+                f"{self.cached_prefix_tokens}"
+            )
 
     @property
     def context_length(self) -> int:
@@ -149,5 +166,13 @@ class GenerationRequest:
 
     @property
     def prefill_tokens_needed(self) -> int:
-        """Context to (re-)prefill at the next admission."""
-        return self.restart_context if self.restart_context > 0 else self.input_tokens
+        """Context to (re-)prefill at the next admission.
+
+        A recompute restart re-prefills everything (the preemption freed
+        the KV, cached prefix included); otherwise a prefix-cache hit
+        shrinks the prompt to its uncached suffix (at least one token, so
+        prefill still emits the first output token).
+        """
+        if self.restart_context > 0:
+            return self.restart_context
+        return max(1, self.input_tokens - self.cached_prefix_tokens)

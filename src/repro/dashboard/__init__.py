@@ -1,5 +1,15 @@
 """Interactive dashboard generation (the paper's artifact, offline)."""
 
-from repro.dashboard.html import dashboard_html, metrics_section_html, write_dashboard
+from repro.dashboard.html import (
+    cluster_section_html,
+    dashboard_html,
+    metrics_section_html,
+    write_dashboard,
+)
 
-__all__ = ["dashboard_html", "metrics_section_html", "write_dashboard"]
+__all__ = [
+    "cluster_section_html",
+    "dashboard_html",
+    "metrics_section_html",
+    "write_dashboard",
+]

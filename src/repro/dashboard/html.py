@@ -11,11 +11,20 @@ from __future__ import annotations
 import html
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.bench.experiments import EXPERIMENTS, ExperimentResult
 from repro.obs.metrics import MetricsSnapshot
 
-__all__ = ["dashboard_html", "write_dashboard", "metrics_section_html"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.simulator import ClusterResult
+
+__all__ = [
+    "dashboard_html",
+    "write_dashboard",
+    "metrics_section_html",
+    "cluster_section_html",
+]
 
 _PAGE = """<!DOCTYPE html>
 <html lang="en">
@@ -166,13 +175,56 @@ def metrics_section_html(
     return "\n".join(parts)
 
 
+def cluster_section_html(
+    result: "ClusterResult", title: str = "Cluster simulation"
+) -> str:
+    """Static HTML fragment for one cluster run: replica table + gauges.
+
+    Per-replica rows (role, requests served, busy time, utilization bar)
+    followed by the cluster metrics snapshot (fleet gauges sampled at
+    every routing instant, TTFT/ITL histograms) via
+    :func:`metrics_section_html`.  Embeddable below the experiment
+    browser the same way the traced-engine metrics section is.
+    """
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    parts.append(
+        "<p class='note'>"
+        f"{len(result.replicas)} replicas, router "
+        f"{html.escape(result.router_name)}, {len(result.requests)} "
+        f"requests, makespan {result.makespan_s:.2f}&nbsp;s"
+        + (f", {result.handoffs} KV handoffs" if result.handoffs else "")
+        + (f", {result.prefix_hits} prefix hits" if result.prefix_hits else "")
+        + "</p>"
+    )
+    parts.append(
+        "<table class='data'><tr><th>replica</th><th>role</th>"
+        "<th>requests</th><th>busy s</th><th>utilization</th><th></th></tr>"
+    )
+    for rep in result.replicas:
+        width = round(200 * min(1.0, max(0.0, rep.utilization)))
+        parts.append(
+            f"<tr><td>{html.escape(rep.name)}</td>"
+            f"<td>{html.escape(rep.role)}</td>"
+            f"<td>{rep.requests_served}</td><td>{rep.busy_s:.2f}</td>"
+            f"<td>{rep.utilization:.0%}</td>"
+            f"<td><span class='bar' style='width:{width}px'></span></td></tr>"
+        )
+    parts.append("</table>")
+    parts.append(metrics_section_html(result.metrics, title="Cluster metrics"))
+    return "\n".join(parts)
+
+
 def dashboard_html(
-    results: list[ExperimentResult], metrics: MetricsSnapshot | None = None
+    results: list[ExperimentResult],
+    metrics: MetricsSnapshot | None = None,
+    cluster: "ClusterResult | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
     ``metrics`` (optional) embeds a traced engine run's percentile and
-    histogram panels below the experiment browser.
+    histogram panels below the experiment browser; ``cluster`` (optional)
+    appends a cluster-simulation section (replica utilization, fleet
+    gauges) the same way.
     """
     if not results:
         raise ValueError("no results to render")
@@ -193,6 +245,10 @@ def dashboard_html(
             "records": result.table.to_dicts(),
         }
     metrics_html = "" if metrics is None else metrics_section_html(metrics)
+    if cluster is not None:
+        metrics_html += ("\n" if metrics_html else "") + cluster_section_html(
+            cluster
+        )
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -200,8 +256,12 @@ def write_dashboard(
     results: list[ExperimentResult],
     path: str | Path,
     metrics: MetricsSnapshot | None = None,
+    cluster: "ClusterResult | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
-    out.write_text(dashboard_html(results, metrics=metrics), encoding="utf-8")
+    out.write_text(
+        dashboard_html(results, metrics=metrics, cluster=cluster),
+        encoding="utf-8",
+    )
     return out

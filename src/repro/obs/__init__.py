@@ -10,7 +10,12 @@ arrival → admit → prefill → decode → retire path.  The shared
 is off.
 """
 
-from repro.obs.export import to_chrome_trace, trace_summary, write_chrome_trace
+from repro.obs.export import (
+    to_chrome_trace,
+    to_chrome_trace_multi,
+    trace_summary,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,6 +53,7 @@ __all__ = [
     "build_timelines",
     "timeline_table",
     "to_chrome_trace",
+    "to_chrome_trace_multi",
     "trace_summary",
     "write_chrome_trace",
 ]

@@ -19,7 +19,12 @@ from pathlib import Path
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.tracer import CATEGORIES, PHASE_COMPLETE, TraceEvent
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "trace_summary"]
+__all__ = [
+    "to_chrome_trace",
+    "to_chrome_trace_multi",
+    "write_chrome_trace",
+    "trace_summary",
+]
 
 _S_TO_US = 1e6
 
@@ -32,21 +37,17 @@ def _tid_for(category: str) -> int:
         return len(CATEGORIES) + 1
 
 
-def to_chrome_trace(
-    events: list[TraceEvent], metadata: dict[str, object] | None = None
-) -> dict[str, object]:
-    """Chrome ``trace_event`` JSON object format for ``events``.
-
-    Returns a dict ready for ``json.dump``: ``traceEvents`` plus top-level
-    ``otherData`` carrying run metadata (model, hardware, framework, ...).
-    """
+def _track_records(
+    events: list[TraceEvent], pid: int, process_name: str
+) -> list[dict[str, object]]:
+    """Metadata + event records for one process track (``pid``)."""
     records: list[dict[str, object]] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": 0,
-            "args": {"name": "repro serving engine"},
+            "args": {"name": process_name},
         }
     ]
     for category in dict.fromkeys(e.category for e in events):
@@ -54,7 +55,7 @@ def to_chrome_trace(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": _tid_for(category),
                 "args": {"name": category},
             }
@@ -65,7 +66,7 @@ def to_chrome_trace(
             "cat": event.category,
             "ph": event.phase,
             "ts": event.ts_s * _S_TO_US,
-            "pid": 1,
+            "pid": pid,
             "tid": _tid_for(event.category),
             "args": dict(event.args),
         }
@@ -74,6 +75,38 @@ def to_chrome_trace(
         elif event.phase == "i":
             record["s"] = "t"  # thread-scoped instant
         records.append(record)
+    return records
+
+
+def to_chrome_trace(
+    events: list[TraceEvent], metadata: dict[str, object] | None = None
+) -> dict[str, object]:
+    """Chrome ``trace_event`` JSON object format for ``events``.
+
+    Returns a dict ready for ``json.dump``: ``traceEvents`` plus top-level
+    ``otherData`` carrying run metadata (model, hardware, framework, ...).
+    """
+    return {
+        "traceEvents": _track_records(events, 1, "repro serving engine"),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def to_chrome_trace_multi(
+    tracks: dict[str, list[TraceEvent]],
+    metadata: dict[str, object] | None = None,
+) -> dict[str, object]:
+    """Chrome trace with one process track per named event stream.
+
+    ``tracks`` maps a track name (e.g. a cluster replica: ``replica0``,
+    ``prefill1``) to that stream's events; each gets its own ``pid`` so
+    Perfetto renders the fleet as parallel process lanes sharing one
+    clock.  Iteration order fixes pid assignment (1, 2, ...).
+    """
+    records: list[dict[str, object]] = []
+    for pid, (name, events) in enumerate(tracks.items(), start=1):
+        records.extend(_track_records(events, pid, name))
     return {
         "traceEvents": records,
         "displayTimeUnit": "ms",

@@ -18,6 +18,7 @@ ordinary :class:`~repro.models.config.ModelConfig` objects.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.core.metrics import InferenceMetrics
@@ -31,12 +32,36 @@ from repro.perf.estimator import InferenceEstimator
 from repro.perf.parallelism import ParallelismPlan
 from repro.perf.phases import Deployment
 
-__all__ = ["INFINIBAND_NDR", "ClusterDeployment", "ClusterEstimate"]
+__all__ = [
+    "INFINIBAND_NDR",
+    "ClusterDeployment",
+    "ClusterEstimate",
+    "replicas_for_rate",
+]
 
 # NVIDIA NDR InfiniBand: 400 Gb/s per port = 50 GB/s, ~2x the latency of
 # intra-node NVLink hops.
 INFINIBAND_NDR = InterconnectSpec("InfiniBand-NDR", bandwidth_gb_s=50.0,
                                   latency_us=5.0)
+
+
+def replicas_for_rate(target_rps: float, per_replica_rps: float) -> int:
+    """Closed-form data-parallel fleet sizing: ``ceil(target / capacity)``.
+
+    Independent replicas behind an ideal router scale request capacity
+    linearly (no shared state, unlike the TP/PP paths above), so the
+    replica count for an offered rate is the ceiling ratio.  The
+    discrete-event :class:`repro.cluster.ClusterCapacityPlanner` is
+    cross-checked against this estimate on uniform workloads.
+    """
+    if target_rps <= 0:
+        raise ValueError(f"target_rps must be positive, got {target_rps}")
+    if per_replica_rps <= 0:
+        raise ValueError(
+            f"per_replica_rps must be positive, got {per_replica_rps}"
+        )
+    # Tolerate float ratio noise so e.g. 3 * capacity never rounds to 4.
+    return max(1, math.ceil(target_rps / per_replica_rps - 1e-9))
 
 
 @dataclass(frozen=True)

@@ -5,8 +5,14 @@ Observability: every component accepts a :class:`repro.obs.Tracer`
 TTFT/ITL histograms when given a recording ``EventTracer``.
 """
 
-from repro.runtime.engine import EngineResult, ServingEngine
-from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, run_load_test
+from repro.runtime.engine import EngineResult, EngineRun, ServingEngine
+from repro.runtime.loadgen import (
+    LoadReport,
+    ServiceLevelObjective,
+    find_max_sustainable_rate,
+    run_load_test,
+    summarize_requests,
+)
 from repro.runtime.memory_manager import MemoryManager, OutOfMemoryError
 from repro.runtime.paged_kv import (
     AllocationError,
@@ -24,14 +30,19 @@ from repro.runtime.workload import (
     TraceSummary,
     blended_trace,
     fixed_batch_trace,
+    open_loop_trace,
     poisson_trace,
+    shared_prefix_trace,
 )
 
 __all__ = [
     "EngineResult",
+    "EngineRun",
     "LoadReport",
     "ServiceLevelObjective",
+    "find_max_sustainable_rate",
     "run_load_test",
+    "summarize_requests",
     "ServingEngine",
     "MemoryManager",
     "OutOfMemoryError",
@@ -46,5 +57,7 @@ __all__ = [
     "TraceSummary",
     "blended_trace",
     "fixed_batch_trace",
+    "open_loop_trace",
     "poisson_trace",
+    "shared_prefix_trace",
 ]

@@ -15,10 +15,18 @@ no admission can occur mid-span (the paper's fixed batches), the engine
 executes many decode steps as one span, evaluating the step cost at the
 span's mean context — exact for the affine-in-context step model and
 O(events) instead of O(tokens).
+
+Execution is resumable: :meth:`ServingEngine.start` returns an
+:class:`EngineRun` whose ``submit``/``step`` pair lets a caller interleave
+request injection with engine iterations.  :meth:`ServingEngine.run` is
+the classic submit-everything-then-drain wrapper; the cluster simulator
+(:mod:`repro.cluster`) drives one ``EngineRun`` per replica and routes
+arrivals between steps.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.core.metrics import InferenceMetrics, LatencyBreakdown
@@ -37,7 +45,7 @@ from repro.runtime.scheduler import (
     StaticBatchingScheduler,
 )
 
-__all__ = ["EngineResult", "ServingEngine"]
+__all__ = ["EngineResult", "EngineRun", "ServingEngine"]
 
 _MAX_ITERATIONS = 10_000_000
 
@@ -144,7 +152,6 @@ class ServingEngine:
         self.coalesce = coalesce
         self.optimistic = optimistic
         self._power = PowerModel(deployment.hardware, deployment.num_devices)
-        self._metrics: MetricsRegistry | None = None
 
     def _make_scheduler(self) -> Scheduler:
         allocator = self.memory.build_allocator()
@@ -162,126 +169,29 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
 
+    def start(
+        self, pressure: Callable[[], bool] | None = None
+    ) -> "EngineRun":
+        """Begin a resumable run with an empty queue (see :class:`EngineRun`).
+
+        ``pressure`` is an optional callback the run consults before
+        coalescing a decode span: when it returns True, more requests may
+        still be submitted (e.g. arrivals held by a cluster router), so
+        the run keeps single-step iteration boundaries — exactly as it
+        would if those requests already sat in its waiting queue."""
+        return EngineRun(self, pressure=pressure)
+
     def run(self, trace: list[GenerationRequest]) -> EngineResult:
         """Execute a trace to completion; raises OutOfMemoryError only when
         a request can never fit even on an idle engine."""
         if not trace:
             raise ValueError("trace is empty")
-        scheduler = self._make_scheduler()
+        run = self.start()
         for request in sorted(trace, key=lambda r: r.arrival_time):
-            scheduler.submit(request)
-
-        traced = self.tracer.enabled
-        self._metrics = MetricsRegistry() if traced else None
-
-        now = 0.0
-        iterations = 0
-        decode_steps = 0
-        energy_j = 0.0
-
-        while scheduler.has_work:
-            iterations += 1
-            if iterations > _MAX_ITERATIONS:
-                raise RuntimeError("engine exceeded the iteration safeguard")
-            if traced:
-                self.tracer.advance(now)
-                self._sample_gauges(scheduler, now)
-
-            admitted = scheduler.admit(now)
-            if admitted:
-                decoding = [
-                    r
-                    for r in scheduler.running
-                    if r not in admitted
-                    and r.state == RequestState.DECODING
-                    and r.generated_tokens < r.output_tokens
-                ]
-                now, energy_j = self._run_prefill(admitted, decoding, now, energy_j)
-                self._observe_retired(scheduler.retire_finished())  # 1-token requests
-                continue
-
-            running = scheduler.running
-            if not running:
-                next_arrival = min(r.arrival_time for r in scheduler.waiting)
-                if next_arrival > now:
-                    # Idle until the next request arrives.
-                    energy_j += (next_arrival - now) * self._power.group_power_w(0.0)
-                    if traced:
-                        self.tracer.complete(
-                            "engine", "idle", now, next_arrival - now
-                        )
-                    now = next_arrival
-                    continue
-                raise OutOfMemoryError(
-                    "a queued request cannot fit even on an idle engine "
-                    f"({self.deployment.hardware.name} x"
-                    f"{self.deployment.num_devices})"
-                )
-
-            steps = self._coalesced_steps(scheduler, now)
-            now, energy_j = self._run_decode_span(
-                scheduler, running, steps, now, energy_j
-            )
-            decode_steps += steps
-            self._observe_retired(scheduler.retire_finished())
-
-        if traced:
-            self.tracer.advance(now)
-            self._sample_gauges(scheduler, now)  # close the gauge series
-        return EngineResult(
-            requests=list(trace),
-            total_time_s=now,
-            iterations=iterations,
-            decode_steps=decode_steps,
-            average_power_w=(energy_j / now if now > 0 else 0.0),
-            scheduler_stats=scheduler.stats,
-            metrics=self._final_snapshot(scheduler, decode_steps),
-        )
-
-    # ------------------------------------------------------------------
-    # Observability helpers (no-ops unless a recording tracer is set).
-
-    def _sample_gauges(self, scheduler: Scheduler, now: float) -> None:
-        """One per-iteration sample of the operator-facing gauges."""
-        registry = self._metrics
-        if registry is None:
-            return
-        arrived = sum(1 for r in scheduler.waiting if r.arrival_time <= now)
-        registry.gauge("queue_depth").set(arrived, ts_s=now)
-        registry.gauge("batch_size").set(len(scheduler.running), ts_s=now)
-        allocator = scheduler.allocator
-        capacity = allocator.capacity_tokens
-        if capacity > 0:
-            registry.gauge("kv_occupancy").set(
-                allocator.used_tokens / capacity, ts_s=now
-            )
-
-    def _observe_retired(self, done: list[GenerationRequest]) -> None:
-        """Record per-request latency histograms at retirement."""
-        registry = self._metrics
-        if registry is None or not done:
-            return
-        for request in done:
-            registry.histogram("ttft_s").record(request.ttft_s)
-            registry.histogram("e2e_s").record(request.end_to_end_latency_s)
-            if request.output_tokens > 1 and request.first_token_time is not None:
-                gap = (request.finish_time - request.first_token_time) / (
-                    request.output_tokens - 1
-                )
-                registry.histogram("itl_s").record(gap)
-
-    def _final_snapshot(
-        self, scheduler: Scheduler, decode_steps: int
-    ) -> MetricsSnapshot | None:
-        registry = self._metrics
-        if registry is None:
-            return None
-        stats = scheduler.stats
-        registry.counter("admitted").inc(stats.admitted)
-        registry.counter("finished").inc(stats.finished)
-        registry.counter("preemptions").inc(stats.preemptions)
-        registry.counter("decode_steps").inc(decode_steps)
-        return registry.snapshot()
+            run.submit(request)
+        while run.has_work:
+            run.step()
+        return run.result(requests=list(trace))
 
     # ------------------------------------------------------------------
 
@@ -345,18 +255,6 @@ class ServingEngine:
                 # KV state; its next token comes from the next decode step.
                 request.state = RequestState.DECODING
         return now, energy_j
-
-    def _coalesced_steps(self, scheduler: Scheduler, now: float) -> int:
-        """How many decode steps can run before the running set changes."""
-        running = scheduler.running
-        min_remaining = min(r.output_tokens - r.generated_tokens for r in running)
-        if min_remaining <= 1 or not self.coalesce:
-            return 1
-        # An admission opportunity mid-span would change the batch: only
-        # coalesce when nothing is waiting (arrived or future).
-        if scheduler.waiting:
-            return 1
-        return min_remaining
 
     def _run_decode_span(
         self,
@@ -440,3 +338,216 @@ class ServingEngine:
     def _phase_power(self, breakdown: LatencyBreakdown) -> float:
         util = phase_utilization(breakdown, self.deployment.framework.power_intensity)
         return self._power.group_power_w(util)
+
+
+class EngineRun:
+    """Resumable execution state of one :class:`ServingEngine`.
+
+    Holds everything a run accumulates — scheduler, simulation clock,
+    energy, iteration counters, metrics registry — so callers can
+    interleave :meth:`submit` and :meth:`step`.  ``ServingEngine.run`` is
+    the submit-all-then-drain wrapper; the cluster simulator steps many
+    runs against a shared arrival stream, routing each request when the
+    fleet has caught up to its arrival time.
+
+    ``horizon`` on :meth:`step` caps *voluntary* idle jumps: an idle
+    engine normally fast-forwards to its next queued arrival, but a
+    cluster replica must not skip past a routing instant it cannot yet
+    see.  Committed work (a prefill pass, a decode step) may still end
+    past the horizon — events are atomic, exactly as a newly arrived
+    request waits out the in-flight iteration on a real engine.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        pressure: Callable[[], bool] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = engine._make_scheduler()
+        self.tracer = engine.tracer
+        self._traced = engine.tracer.enabled
+        self._registry: MetricsRegistry | None = (
+            MetricsRegistry() if self._traced else None
+        )
+        self._pressure = pressure
+        self.now = 0.0
+        self.iterations = 0
+        self.decode_steps = 0
+        self.energy_j = 0.0
+        self.idle_s = 0.0
+        self.submitted: list[GenerationRequest] = []
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: GenerationRequest) -> None:
+        """Queue a request; callers submit in nondecreasing arrival order."""
+        self.scheduler.submit(request)
+        self.submitted.append(request)
+
+    @property
+    def has_work(self) -> bool:
+        return self.scheduler.has_work
+
+    def step(self, horizon: float | None = None) -> list[GenerationRequest]:
+        """Execute one engine iteration; returns the requests it retired."""
+        scheduler = self.scheduler
+        if not scheduler.has_work:
+            raise RuntimeError("step() called on a drained run")
+        if horizon is not None and horizon <= self.now:
+            raise ValueError(f"horizon {horizon} is not ahead of t={self.now}")
+        engine = self.engine
+        self.iterations += 1
+        if self.iterations > _MAX_ITERATIONS:
+            raise RuntimeError("engine exceeded the iteration safeguard")
+        if self._traced:
+            self.tracer.advance(self.now)
+            self._sample_gauges()
+
+        admitted = scheduler.admit(self.now)
+        if admitted:
+            decoding = [
+                r
+                for r in scheduler.running
+                if r not in admitted
+                and r.state == RequestState.DECODING
+                and r.generated_tokens < r.output_tokens
+            ]
+            self.now, self.energy_j = engine._run_prefill(
+                admitted, decoding, self.now, self.energy_j
+            )
+            retired = scheduler.retire_finished()  # 1-token requests
+            self._observe_retired(retired)
+            return retired
+
+        running = scheduler.running
+        if not running:
+            next_arrival = min(r.arrival_time for r in scheduler.waiting)
+            if next_arrival > self.now:
+                # Idle until the next arrival (or the caller's horizon).
+                target = next_arrival if horizon is None else min(next_arrival, horizon)
+                span = target - self.now
+                self.energy_j += span * engine._power.group_power_w(0.0)
+                self.idle_s += span
+                if self._traced:
+                    self.tracer.complete("engine", "idle", self.now, span)
+                self.now = target
+                return []
+            raise OutOfMemoryError(
+                "a queued request cannot fit even on an idle engine "
+                f"({engine.deployment.hardware.name} x"
+                f"{engine.deployment.num_devices})"
+            )
+
+        steps = self._coalesced_steps()
+        self.now, self.energy_j = engine._run_decode_span(
+            scheduler, running, steps, self.now, self.energy_j
+        )
+        self.decode_steps += steps
+        retired = scheduler.retire_finished()
+        self._observe_retired(retired)
+        return retired
+
+    def result(
+        self, requests: list[GenerationRequest] | None = None
+    ) -> EngineResult:
+        """Finalize the run (close gauge series) and assemble the result."""
+        if self._traced:
+            self.tracer.advance(self.now)
+            self._sample_gauges()  # close the gauge series
+        return EngineResult(
+            requests=list(requests) if requests is not None else list(self.submitted),
+            total_time_s=self.now,
+            iterations=self.iterations,
+            decode_steps=self.decode_steps,
+            average_power_w=(self.energy_j / self.now if self.now > 0 else 0.0),
+            scheduler_stats=self.scheduler.stats,
+            metrics=self._final_snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # Router-facing state summaries (cheap, read-only).
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Work not yet done: prefill still owed plus output still to emit."""
+        total = 0
+        for r in self.scheduler.waiting:
+            total += r.prefill_tokens_needed + r.output_tokens - r.generated_tokens
+        for r in self.scheduler.running:
+            total += r.output_tokens - r.generated_tokens
+            if r.state == RequestState.PREFILLING:
+                total += r.prefill_tokens_needed
+        return total
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.scheduler.waiting)
+
+    @property
+    def kv_used_fraction(self) -> float:
+        allocator = self.scheduler.allocator
+        capacity = allocator.capacity_tokens
+        return allocator.used_tokens / capacity if capacity > 0 else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _coalesced_steps(self) -> int:
+        """How many decode steps can run before the running set changes."""
+        running = self.scheduler.running
+        min_remaining = min(r.output_tokens - r.generated_tokens for r in running)
+        if min_remaining <= 1 or not self.engine.coalesce:
+            return 1
+        # An admission opportunity mid-span would change the batch: only
+        # coalesce when nothing is waiting (arrived or future) — including
+        # requests a cluster router has not routed here yet (``pressure``).
+        if self.scheduler.waiting:
+            return 1
+        if self._pressure is not None and self._pressure():
+            return 1
+        return min_remaining
+
+    # ------------------------------------------------------------------
+    # Observability helpers (no-ops unless a recording tracer is set).
+
+    def _sample_gauges(self) -> None:
+        """One per-iteration sample of the operator-facing gauges."""
+        registry = self._registry
+        if registry is None:
+            return
+        now = self.now
+        scheduler = self.scheduler
+        arrived = sum(1 for r in scheduler.waiting if r.arrival_time <= now)
+        registry.gauge("queue_depth").set(arrived, ts_s=now)
+        registry.gauge("batch_size").set(len(scheduler.running), ts_s=now)
+        allocator = scheduler.allocator
+        capacity = allocator.capacity_tokens
+        if capacity > 0:
+            registry.gauge("kv_occupancy").set(
+                allocator.used_tokens / capacity, ts_s=now
+            )
+
+    def _observe_retired(self, done: list[GenerationRequest]) -> None:
+        """Record per-request latency histograms at retirement."""
+        registry = self._registry
+        if registry is None or not done:
+            return
+        for request in done:
+            registry.histogram("ttft_s").record(request.ttft_s)
+            registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+            if request.output_tokens > 1 and request.first_token_time is not None:
+                gap = (request.finish_time - request.first_token_time) / (
+                    request.output_tokens - 1
+                )
+                registry.histogram("itl_s").record(gap)
+
+    def _final_snapshot(self) -> MetricsSnapshot | None:
+        registry = self._registry
+        if registry is None:
+            return None
+        stats = self.scheduler.stats
+        registry.counter("admitted").inc(stats.admitted)
+        registry.counter("finished").inc(stats.finished)
+        registry.counter("preemptions").inc(stats.preemptions)
+        registry.counter("decode_steps").inc(self.decode_steps)
+        return registry.snapshot()

@@ -17,11 +17,13 @@ import numpy as np
 from repro.core.request import GenerationRequest
 from repro.perf.phases import Deployment
 from repro.runtime.engine import ServingEngine
-from repro.runtime.workload import blended_trace, poisson_trace
+from repro.runtime.memory_manager import OutOfMemoryError
+from repro.runtime.workload import open_loop_trace
 
 __all__ = [
     "ServiceLevelObjective",
     "LoadReport",
+    "summarize_requests",
     "run_load_test",
     "find_max_sustainable_rate",
 ]
@@ -80,6 +82,57 @@ class LoadReport:
         )
 
 
+def summarize_requests(
+    requests: list[GenerationRequest],
+    makespan_s: float,
+    offered_rate_rps: float,
+    slo: ServiceLevelObjective | None = None,
+    average_power_w: float = 0.0,
+) -> LoadReport:
+    """Aggregate a finished (or failed) request set into a :class:`LoadReport`.
+
+    The single accounting path for both one engine and a whole cluster:
+    percentiles come back NaN (like ``EngineResult.mean_ttft_s``) instead
+    of raising when nothing completed — an all-OOM run, a zero-arrival
+    window — so sweeps over mixed outcomes never blow up mid-aggregation.
+    """
+    if not requests:
+        raise ValueError("requests is empty")
+    slo = slo or ServiceLevelObjective()
+    completed = [r for r in requests if r.first_token_time is not None]
+    finished = [r for r in completed if r.finish_time is not None]
+
+    if completed:
+        ttfts = np.array(sorted(r.ttft_s for r in completed))
+        p50, p95, p99 = (float(np.percentile(ttfts, q)) for q in (50, 95, 99))
+    else:
+        p50 = p95 = p99 = float("nan")
+
+    total_gap = sum(
+        r.finish_time - r.first_token_time for r in finished if r.output_tokens > 1
+    )
+    intervals = sum(r.output_tokens - 1 for r in finished if r.output_tokens > 1)
+    itl_mean = total_gap / intervals if intervals else 0.0
+
+    total_tokens = sum(r.input_tokens + r.generated_tokens for r in requests)
+    met = sum(1 for r in requests if slo.met_by(r))
+    return LoadReport(
+        offered_rate_rps=offered_rate_rps,
+        completed_requests=len(finished),
+        makespan_s=makespan_s,
+        throughput_tokens_per_s=(
+            total_tokens / makespan_s if makespan_s > 0 else 0.0
+        ),
+        ttft_p50_s=p50,
+        ttft_p95_s=p95,
+        ttft_p99_s=p99,
+        itl_mean_s=itl_mean,
+        slo_attainment=met / len(requests),
+        goodput_rps=met / makespan_s if makespan_s > 0 else 0.0,
+        average_power_w=average_power_w,
+    )
+
+
 def run_load_test(
     deployment: Deployment,
     rate_rps: float,
@@ -90,39 +143,29 @@ def run_load_test(
     slo: ServiceLevelObjective | None = None,
     seed: int = 0,
 ) -> LoadReport:
-    """Drive Poisson arrivals with blended lengths through the engine."""
+    """Drive Poisson arrivals with blended lengths through the engine.
+
+    A run the engine aborts with :class:`OutOfMemoryError` (a request that
+    can never fit) reports zero completions and NaN percentiles rather
+    than raising, so capacity sweeps can cross the OOM frontier.
+    """
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
     slo = slo or ServiceLevelObjective()
 
-    arrivals = poisson_trace(num_requests, rate_rps, 1, 1, seed=seed)
-    shaped = blended_trace(
-        num_requests, mean_input_tokens, mean_output_tokens, seed=seed
+    trace = open_loop_trace(
+        num_requests, rate_rps, mean_input_tokens, mean_output_tokens, seed=seed
     )
-    trace: list[GenerationRequest] = []
-    for arrival, request in zip(arrivals, shaped):
-        request.arrival_time = arrival.arrival_time
-        trace.append(request)
-
     engine = ServingEngine(deployment, max_concurrency=max_concurrency)
-    result = engine.run(trace)
-
-    ttfts = np.array(sorted(r.ttft_s for r in result.requests))
-    met = sum(1 for r in result.requests if slo.met_by(r))
-    return LoadReport(
-        offered_rate_rps=rate_rps,
-        completed_requests=len(result.requests),
-        makespan_s=result.total_time_s,
-        throughput_tokens_per_s=result.throughput_tokens_per_s,
-        ttft_p50_s=float(np.percentile(ttfts, 50)),
-        ttft_p95_s=float(np.percentile(ttfts, 95)),
-        ttft_p99_s=float(np.percentile(ttfts, 99)),
-        itl_mean_s=result.mean_itl_s,
-        slo_attainment=met / len(result.requests),
-        goodput_rps=met / result.total_time_s if result.total_time_s > 0 else 0.0,
-        average_power_w=result.average_power_w,
+    try:
+        result = engine.run(trace)
+        makespan, power = result.total_time_s, result.average_power_w
+    except OutOfMemoryError:
+        makespan, power = 0.0, 0.0
+    return summarize_requests(
+        trace, makespan, rate_rps, slo=slo, average_power_w=power
     )
 
 

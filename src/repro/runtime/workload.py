@@ -18,7 +18,14 @@ import numpy as np
 
 from repro.core.request import GenerationRequest
 
-__all__ = ["fixed_batch_trace", "poisson_trace", "blended_trace", "TraceSummary"]
+__all__ = [
+    "fixed_batch_trace",
+    "poisson_trace",
+    "blended_trace",
+    "open_loop_trace",
+    "shared_prefix_trace",
+    "TraceSummary",
+]
 
 
 def fixed_batch_trace(
@@ -86,6 +93,65 @@ def blended_trace(
     return [
         GenerationRequest(input_tokens=int(i), output_tokens=int(o))
         for i, o in zip(ins, outs)
+    ]
+
+
+def open_loop_trace(
+    num_requests: int,
+    rate_per_s: float,
+    mean_input_tokens: int,
+    mean_output_tokens: int,
+    seed: int = 0,
+) -> list[GenerationRequest]:
+    """Poisson arrivals carrying blended (lognormal) lengths.
+
+    The standard online-serving workload: exponential inter-arrival gaps
+    at ``rate_per_s`` combined with the heavy-tailed length mix of
+    :func:`blended_trace`, from one seed.  Used by the load generator and
+    the cluster simulator CLI.
+    """
+    arrivals = poisson_trace(num_requests, rate_per_s, 1, 1, seed=seed)
+    shaped = blended_trace(
+        num_requests, mean_input_tokens, mean_output_tokens, seed=seed
+    )
+    for arrival, request in zip(arrivals, shaped):
+        request.arrival_time = arrival.arrival_time
+    return shaped
+
+
+def shared_prefix_trace(
+    num_requests: int,
+    rate_per_s: float,
+    num_prefixes: int,
+    prefix_tokens: int,
+    unique_tokens: int,
+    output_tokens: int,
+    seed: int = 0,
+) -> list[GenerationRequest]:
+    """Poisson arrivals that reuse ``num_prefixes`` shared prompt prefixes.
+
+    Models system-prompt / multi-turn traffic: every request opens with
+    one of ``num_prefixes`` identical ``prefix_tokens``-long prefixes
+    (chosen uniformly) followed by ``unique_tokens`` of fresh context.
+    A prefix-affinity router can steer repeats of a prefix to the replica
+    already holding its KV blocks; other policies hit only by chance.
+    """
+    if num_prefixes < 1:
+        raise ValueError(f"num_prefixes must be >= 1, got {num_prefixes}")
+    if prefix_tokens < 1 or unique_tokens < 1:
+        raise ValueError("prefix_tokens and unique_tokens must be >= 1")
+    arrivals = poisson_trace(num_requests, rate_per_s, 1, 1, seed=seed)
+    rng = np.random.default_rng(seed + 1)  # decouple from the arrival draw
+    prefix_ids = rng.integers(0, num_prefixes, size=num_requests)
+    return [
+        GenerationRequest(
+            input_tokens=prefix_tokens + unique_tokens,
+            output_tokens=output_tokens,
+            arrival_time=arrival.arrival_time,
+            prefix_id=int(pid),
+            prefix_tokens=prefix_tokens,
+        )
+        for arrival, pid in zip(arrivals, prefix_ids)
     ]
 
 
