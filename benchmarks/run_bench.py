@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone entry point for the step-cost kernel benchmark harness.
+
+Equivalent to ``llm-inference-bench bench`` — kept as a plain script so the
+harness runs from a checkout without installing the package::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--reduced] \
+        [--baseline benchmarks/baseline.json]
+
+See docs/performance.md for what each benchmark measures and how the CI
+regression gate uses ``benchmarks/baseline.json``.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -10,6 +10,13 @@ from repro.bench.experiments import (
     run_experiment,
 )
 from repro.bench.export import export_bundle, export_csv
+from repro.bench.perfbench import (
+    BenchReport,
+    check_regression,
+    load_baseline,
+    run_benchmarks,
+    write_report,
+)
 from repro.bench.runner import BenchmarkRunner, default_plan
 from repro.bench.validation import cross_validate
 from repro.bench.report import experiments_markdown, render_results, run_all
@@ -34,6 +41,11 @@ __all__ = [
     "run_experiment",
     "BenchmarkRunner",
     "default_plan",
+    "BenchReport",
+    "check_regression",
+    "load_baseline",
+    "run_benchmarks",
+    "write_report",
     "export_bundle",
     "export_csv",
     "cross_validate",

@@ -1,0 +1,305 @@
+"""Before/after performance benchmarks for the step-cost kernel.
+
+Times the simulator's four hot paths twice — once through the un-memoized
+``phases.py`` roofline (:class:`~repro.perf.kernel.DirectStepCost`) and
+once through the shared :class:`~repro.perf.kernel.StepCostKernel` — and
+writes a ``BENCH_<date>.json`` record so the repo carries a measured perf
+trajectory across PRs:
+
+* **sweep_grid** — a batch x input x output metric grid: scalar estimator
+  loop vs one vectorized :meth:`evaluate_grid` pass;
+* **estimator_points** — repeated single-workload estimates;
+* **engine_iteration_rate** — a full :meth:`ServingEngine.run` over an
+  open-loop trace (iterations/s is the CI regression metric);
+* **cluster_run** — a multi-replica :class:`ClusterSimulator` run with one
+  kernel shared across the fleet.
+
+Every pair is checked for agreement before timings are reported — a
+benchmark that got faster by computing something else is a bug, not a win.
+CI runs the reduced grid and fails when the kernel-path engine iteration
+rate regresses more than ``--max-regression`` against
+``benchmarks/baseline.json`` (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.runner import default_plan
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.request import GenerationConfig
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.perf.estimator import InferenceEstimator
+from repro.perf.kernel import DirectStepCost, StepCostKernel
+from repro.perf.phases import Deployment
+from repro.runtime.engine import ServingEngine
+from repro.runtime.workload import open_loop_trace
+
+__all__ = [
+    "BenchReport",
+    "check_regression",
+    "load_baseline",
+    "run_benchmarks",
+    "write_report",
+]
+
+# The reference deployment: the paper's most-covered configuration, sized
+# so nothing OOMs and every phase (prefill, decode, waves) is exercised.
+_MODEL = "LLaMA-3-8B"
+_HARDWARE = "A100"
+_FRAMEWORK = "vLLM"
+
+_AGREEMENT_RTOL = 1e-9  # sanity bar here; tests enforce 1e-12
+
+
+@dataclass
+class BenchReport:
+    """One harness invocation's results plus environment context."""
+
+    date: str
+    reduced: bool
+    deployment: str
+    python: str
+    machine: str
+    benchmarks: dict[str, dict[str, float]]
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, indent=2, sort_keys=True) + "\n"
+
+
+def _reference_deployment() -> Deployment:
+    model = get_model(_MODEL)
+    hardware = get_hardware(_HARDWARE)
+    framework = get_framework(_FRAMEWORK)
+    return Deployment(
+        model, hardware, framework, plan=default_plan(model, hardware)
+    )
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` calls (steady-state cost:
+    the first call may pay cache warm-up, later calls measure the memoized
+    fast path — exactly the regime long sweeps and cluster runs live in)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _close(a: float, b: float) -> bool:
+    return a == b or abs(a - b) <= _AGREEMENT_RTOL * max(abs(a), abs(b))
+
+
+def _bench_sweep_grid(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    if reduced:
+        batches = (1, 8, 32, 128)
+        inputs = (128, 1024)
+        outputs = (128, 512)
+    else:
+        batches = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+        inputs = (128, 256, 512, 1024, 2048)
+        outputs = (1, 128, 256, 512, 1024)
+    points = len(batches) * len(inputs) * len(outputs)
+    direct = InferenceEstimator(dep, kernel=DirectStepCost(dep))
+
+    def scalar_loop() -> list[float]:
+        return [
+            direct.estimate(GenerationConfig(i, o, b)).throughput_tokens_per_s
+            for b in batches
+            for i in inputs
+            for o in outputs
+        ]
+
+    def grid_pass():
+        return kernel.evaluate_grid(batches, inputs, outputs)
+
+    scalar = scalar_loop()
+    grid = grid_pass()
+    flat = grid.throughput_tokens_per_s.reshape(-1)
+    for idx, value in enumerate(scalar):
+        if not _close(value, float(flat[idx])):
+            raise AssertionError(
+                f"sweep grid disagrees with scalar estimator at point {idx}"
+            )
+
+    before = _best_of(scalar_loop, repeats)
+    after = _best_of(grid_pass, repeats)
+    return {
+        "points": float(points),
+        "before_s": before,
+        "after_s": after,
+        "before_points_per_s": points / before,
+        "after_points_per_s": points / after,
+        "speedup": before / after,
+    }
+
+
+def _bench_estimator_points(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    lengths = (128, 256, 512, 1024) if reduced else (128, 256, 512, 1024, 2048)
+    batches = (1, 16, 64) if reduced else (1, 4, 16, 32, 64)
+    workloads = [
+        GenerationConfig(n, n, b) for n in lengths for b in batches
+    ]
+    direct = InferenceEstimator(dep, kernel=DirectStepCost(dep))
+    fast = InferenceEstimator(dep, kernel=kernel)
+
+    for config in workloads:
+        a = direct.estimate(config).end_to_end_latency_s
+        b = fast.estimate(config).end_to_end_latency_s
+        if not _close(a, b):
+            raise AssertionError(f"estimator disagreement at {config}")
+
+    before = _best_of(
+        lambda: [direct.estimate(c) for c in workloads], repeats
+    )
+    after = _best_of(lambda: [fast.estimate(c) for c in workloads], repeats)
+    return {
+        "points": float(len(workloads)),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+
+
+def _bench_engine(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    num_requests = 24 if reduced else 64
+    trace_args = (num_requests, 4.0, 384, 160)
+
+    def run_with(step_kernel) -> object:
+        engine = ServingEngine(dep, max_concurrency=16, kernel=step_kernel)
+        return engine.run(open_loop_trace(*trace_args, seed=7))
+
+    direct_result = run_with(DirectStepCost(dep))
+    kernel_result = run_with(kernel)
+    if not _close(direct_result.total_time_s, kernel_result.total_time_s):
+        raise AssertionError("engine makespan diverged between step-cost paths")
+    iterations = kernel_result.iterations
+
+    before = _best_of(lambda: run_with(DirectStepCost(dep)), repeats)
+    after = _best_of(lambda: run_with(kernel), repeats)
+    return {
+        "iterations": float(iterations),
+        "before_s": before,
+        "after_s": after,
+        "before_iters_per_s": iterations / before,
+        "after_iters_per_s": iterations / after,
+        "speedup": before / after,
+    }
+
+
+def _bench_cluster(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    num_replicas = 2 if reduced else 4
+    num_requests = 32 if reduced else 96
+
+    def run_with(step_kernel) -> object:
+        simulator = ClusterSimulator(
+            dep, num_replicas, max_concurrency=16, kernel=step_kernel
+        )
+        trace = open_loop_trace(num_requests, 8.0, 384, 160, seed=11)
+        return simulator.run(trace)
+
+    direct_result = run_with(DirectStepCost(dep))
+    kernel_result = run_with(kernel)
+    if not _close(direct_result.makespan_s, kernel_result.makespan_s):
+        raise AssertionError("cluster makespan diverged between step-cost paths")
+
+    before = _best_of(lambda: run_with(DirectStepCost(dep)), repeats)
+    after = _best_of(lambda: run_with(kernel), repeats)
+    return {
+        "replicas": float(num_replicas),
+        "requests": float(num_requests),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+
+
+def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
+    """Run the four before/after benchmarks and assemble a report."""
+    if repeats is None:
+        repeats = 2 if reduced else 3
+    dep = _reference_deployment()
+    kernel = StepCostKernel(dep)  # fresh, private: cold caches at start
+    benchmarks = {
+        "sweep_grid": _bench_sweep_grid(dep, kernel, reduced, repeats),
+        "estimator_points": _bench_estimator_points(dep, kernel, reduced, repeats),
+        "engine_iteration_rate": _bench_engine(dep, kernel, reduced, repeats),
+        "cluster_run": _bench_cluster(dep, kernel, reduced, repeats),
+    }
+    return BenchReport(
+        date=datetime.date.today().isoformat(),
+        reduced=reduced,
+        deployment=f"{_MODEL}/{_HARDWARE}/{_FRAMEWORK}",
+        python=platform.python_version(),
+        machine=platform.machine(),
+        benchmarks=benchmarks,
+    )
+
+
+def write_report(report: BenchReport, output: str | Path | None = None) -> Path:
+    """Write the report to ``output`` (default ``BENCH_<date>.json``)."""
+    path = Path(output) if output is not None else Path(f"BENCH_{report.date}.json")
+    path.write_text(report.to_json())
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def check_regression(
+    report: BenchReport, baseline: dict, max_regression: float = 2.0
+) -> list[str]:
+    """Regression messages (empty = pass).
+
+    The gate is the kernel-path engine iteration rate: the harness fails
+    when it drops below ``baseline / max_regression``.  The baseline is a
+    deliberately conservative committed number so that machine-to-machine
+    variance does not trip CI, while an accidental return to un-memoized
+    evaluation (a >5x cliff) always does.
+    """
+    if max_regression <= 1.0:
+        raise ValueError("max_regression must be > 1.0")
+    failures: list[str] = []
+    base_rate = baseline["engine_iteration_rate"]["after_iters_per_s"]
+    rate = report.benchmarks["engine_iteration_rate"]["after_iters_per_s"]
+    floor = base_rate / max_regression
+    if rate < floor:
+        failures.append(
+            "engine iteration rate regressed: "
+            f"{rate:.1f} iters/s < floor {floor:.1f} "
+            f"(baseline {base_rate:.1f} / {max_regression:g})"
+        )
+    return failures
+
+
+def render(report: BenchReport) -> str:
+    lines = [
+        f"step-cost kernel benchmarks ({report.deployment}, "
+        f"{'reduced' if report.reduced else 'full'} grid)",
+        f"{'benchmark':<24}{'before s':>12}{'after s':>12}{'speedup':>10}",
+    ]
+    for name, row in report.benchmarks.items():
+        lines.append(
+            f"{name:<24}{row['before_s']:>12.4f}{row['after_s']:>12.4f}"
+            f"{row['speedup']:>9.1f}x"
+        )
+    return "\n".join(lines)

@@ -173,6 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-output", default=None, metavar="PATH",
         help="trace the run; write per-replica Chrome trace JSON here",
     )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time simulator hot paths before/after the step-cost kernel",
+    )
+    bench_p.add_argument("--reduced", action="store_true",
+                         help="small CI grid (seconds instead of minutes)")
+    bench_p.add_argument("--output", default=None, metavar="PATH",
+                         help="result JSON path (default BENCH_<date>.json)")
+    bench_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against this baseline JSON and fail on regression",
+    )
+    bench_p.add_argument(
+        "--max-regression", type=float, default=2.0, metavar="FACTOR",
+        help="tolerated slowdown vs baseline engine iteration rate",
+    )
     return parser
 
 
@@ -428,6 +445,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perfbench import (
+        check_regression,
+        load_baseline,
+        render,
+        run_benchmarks,
+        write_report,
+    )
+
+    report = run_benchmarks(reduced=args.reduced)
+    print(render(report))
+    path = write_report(report, args.output)
+    print(f"wrote {path}")
+    if args.baseline is not None:
+        failures = check_regression(
+            report, load_baseline(args.baseline), args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        rate = report.benchmarks["engine_iteration_rate"]["after_iters_per_s"]
+        print(f"baseline check passed ({rate:.1f} iters/s)")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.bench.validation import cross_validate
 
@@ -458,6 +501,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.cluster.router import LeastOutstandingTokensRouter, Router
 from repro.cluster.simulator import ClusterSimulator
 from repro.core.request import GenerationRequest
+from repro.perf.kernel import get_kernel
 from repro.perf.multinode import replicas_for_rate
 from repro.perf.phases import Deployment
 from repro.runtime.loadgen import (
@@ -113,6 +114,10 @@ class ClusterCapacityPlanner:
         self.attainment_target = attainment_target
         self.seed = seed
         self._single_rate: float | None = None
+        # One kernel for every probe: the bisection re-simulates the same
+        # deployment dozens of times, so step costs computed by the first
+        # probe are served from cache by all later ones.
+        self._kernel = get_kernel(deployment)
 
     # ------------------------------------------------------------------
 
@@ -126,6 +131,7 @@ class ClusterCapacityPlanner:
             num_replicas,
             router=self.router_factory(),
             max_concurrency=self.max_concurrency,
+            kernel=self._kernel,
         )
         try:
             result = simulator.run(trace)

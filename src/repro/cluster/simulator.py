@@ -33,6 +33,7 @@ from repro.cluster.router import LeastOutstandingTokensRouter, Router, _least_ou
 from repro.core.request import GenerationRequest, RequestState
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracer import EventTracer, TraceEvent
+from repro.perf.kernel import get_kernel
 from repro.perf.phases import Deployment
 from repro.runtime.engine import EngineResult, EngineRun, ServingEngine
 from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, summarize_requests
@@ -186,6 +187,7 @@ class ClusterSimulator:
         disaggregation: DisaggregationSpec | None = None,
         prefix_cache_slots: int = 2,
         traced: bool = False,
+        kernel=None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -194,6 +196,10 @@ class ClusterSimulator:
                 f"prefix_cache_slots must be >= 1, got {prefix_cache_slots}"
             )
         self.deployment = deployment
+        # One step-cost kernel shared by every replica: all replicas serve
+        # the same deployment shape, so coefficient/memo state built by one
+        # replica's steps is reused by the rest of the fleet.
+        self.kernel = kernel if kernel is not None else get_kernel(deployment)
         self.num_replicas = num_replicas
         self.router = router or LeastOutstandingTokensRouter()
         self.max_concurrency = max_concurrency
@@ -230,6 +236,7 @@ class ClusterSimulator:
                 self.deployment,
                 max_concurrency=self.max_concurrency,
                 optimistic=self.optimistic,
+                kernel=self.kernel,
                 **({"tracer": tracer} if tracer is not None else {}),
             )
             name = f"{role}{index}" if disagg is not None else f"replica{index}"

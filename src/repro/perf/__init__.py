@@ -6,6 +6,14 @@ from repro.perf.attention import (
     paged_block_multiplier,
 )
 from repro.perf.estimator import CapacityReport, InferenceEstimator
+from repro.perf.kernel import (
+    DecodeCoeffs,
+    DirectStepCost,
+    StepCostKernel,
+    SweepGrid,
+    clear_kernel_cache,
+    get_kernel,
+)
 from repro.perf.parallelism import (
     CommCosts,
     ParallelismPlan,
@@ -41,6 +49,12 @@ __all__ = [
     "paged_block_multiplier",
     "CapacityReport",
     "InferenceEstimator",
+    "DecodeCoeffs",
+    "DirectStepCost",
+    "StepCostKernel",
+    "SweepGrid",
+    "clear_kernel_cache",
+    "get_kernel",
     "CommCosts",
     "ParallelismPlan",
     "comm_costs_per_forward",

@@ -28,7 +28,8 @@ from repro.core.metrics import InferenceMetrics, LatencyBreakdown
 from repro.core.request import GenerationConfig
 from repro.hardware.power import PowerModel
 from repro.models.kvcache import kv_bytes_per_token
-from repro.perf.phases import Deployment, decode_step_breakdown, prefill_breakdown
+from repro.perf.kernel import get_kernel
+from repro.perf.phases import Deployment
 
 __all__ = ["InferenceEstimator", "CapacityReport", "phase_utilization"]
 
@@ -71,10 +72,23 @@ class CapacityReport:
 
 
 class InferenceEstimator:
-    """Closed-form estimator for one deployment."""
+    """Closed-form estimator for one deployment.
 
-    def __init__(self, deployment: Deployment) -> None:
+    ``kernel`` supplies the per-phase step costs; the default is the
+    deployment's shared :class:`~repro.perf.kernel.StepCostKernel`, so
+    repeated estimates (sweeps, peak search) reuse memoized coefficients.
+    Pass :class:`~repro.perf.kernel.DirectStepCost` to force un-memoized
+    ``phases.py`` evaluation.
+    """
+
+    def __init__(self, deployment: Deployment, kernel=None) -> None:
         self.deployment = deployment
+        self.kernel = kernel if kernel is not None else get_kernel(deployment)
+        # Pure functions of the frozen deployment/workload shape, cached
+        # so per-estimate cost is dominated by the step model, not by
+        # re-deriving constants (see docs/performance.md).
+        self._weight_footprint: float | None = None
+        self._capacity_by_ctx: dict[int, CapacityReport] = {}
 
     # ------------------------------------------------------------------
     # Capacity
@@ -82,10 +96,15 @@ class InferenceEstimator:
 
     def weight_footprint_bytes(self) -> float:
         """Resident runtime bytes: weights (MoE keeps *all* experts
-        resident) inflated by the framework's buffer/workspace overhead."""
-        dep = self.deployment
-        raw = dep.model.total_params * dep.quant.weight_bytes_per_param()
-        return raw * dep.framework.memory_overhead_factor
+        resident) inflated by the framework's buffer/workspace overhead.
+
+        Pure function of the frozen deployment, computed once per
+        estimator."""
+        if self._weight_footprint is None:
+            dep = self.deployment
+            raw = dep.model.total_params * dep.quant.weight_bytes_per_param()
+            self._weight_footprint = raw * dep.framework.memory_overhead_factor
+        return self._weight_footprint
 
     def kv_allocated_per_sequence(self, config: GenerationConfig) -> float:
         """KV + workspace bytes reserved for one sequence at full length.
@@ -102,17 +121,25 @@ class InferenceEstimator:
         return kv * (1.0 + dep.hardware.workspace_overhead_factor)
 
     def capacity(self, config: GenerationConfig) -> CapacityReport:
+        # Capacity depends on the workload only through the final context
+        # length, so reports are cached per total-tokens value.
+        final_ctx = config.total_tokens_per_sequence
+        cached = self._capacity_by_ctx.get(final_ctx)
+        if cached is not None:
+            return cached
         dep = self.deployment
         mem = dep.memory_model()
         weights = self.weight_footprint_bytes()
         per_seq = self.kv_allocated_per_sequence(config)
         budget = mem.kv_budget_bytes(weights, 0.0)
-        return CapacityReport(
+        report = CapacityReport(
             weight_bytes=weights,
             kv_allocated_per_sequence_bytes=per_seq,
             usable_bytes=mem.usable_bytes,
             max_concurrency=int(budget // per_seq),
         )
+        self._capacity_by_ctx[final_ctx] = report
+        return report
 
     # ------------------------------------------------------------------
     # Estimation
@@ -131,9 +158,7 @@ class InferenceEstimator:
             zero = LatencyBreakdown()
             return zero, zero
         mean_ctx = config.input_tokens + (config.output_tokens + 1) / 2.0
-        step = decode_step_breakdown(
-            self.deployment, batch_size, max(1, round(mean_ctx))
-        )
+        step = self.kernel.decode_step(batch_size, max(1, round(mean_ctx)))
         return step, step.scaled(float(steps))
 
     def estimate(self, config: GenerationConfig) -> InferenceMetrics:
@@ -161,7 +186,7 @@ class InferenceEstimator:
                 config.batch_size, config.input_tokens, config.output_tokens
             )
 
-        prefill = prefill_breakdown(dep, effective, config.input_tokens)
+        prefill = self.kernel.prefill(effective, config.input_tokens)
         step, decode = self._decode_total(effective, config)
         e2e_one_wave = prefill.total_s + decode.total_s
         e2e = e2e_one_wave * waves

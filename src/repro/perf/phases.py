@@ -88,7 +88,16 @@ class Deployment:
         return self.plan.num_devices
 
     def memory_model(self) -> MemoryModel:
-        return MemoryModel(self.hardware, self.num_devices)
+        """Memory model for this deployment (cached; pure function of the
+        frozen fields, so one instance serves every roofline call)."""
+        cached = self.__dict__.get("_memory_model")
+        if cached is None:
+            cached = MemoryModel(self.hardware, self.num_devices)
+            # Frozen dataclass: stash via object.__setattr__.  The slot is
+            # excluded from generated __eq__/__hash__ (not a field), so
+            # caching never perturbs Deployment identity semantics.
+            object.__setattr__(self, "_memory_model", cached)
+        return cached
 
     # ------------------------------------------------------------------
 

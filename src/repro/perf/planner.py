@@ -76,7 +76,13 @@ def rank_plans(
     workload: GenerationConfig,
     num_devices: int,
 ) -> list[PlanScore]:
-    """Score every valid plan, best throughput first."""
+    """Score every valid plan, best throughput first.
+
+    Each candidate deployment is scored through its shared
+    :class:`~repro.perf.kernel.StepCostKernel` (the estimator's default),
+    so re-ranking the same plans — e.g. across workloads in an autotuning
+    sweep — reuses memoized step costs instead of rebuilding rooflines.
+    """
     scores: list[PlanScore] = []
     for plan in enumerate_plans(model, hardware, num_devices):
         try:

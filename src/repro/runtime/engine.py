@@ -36,7 +36,8 @@ from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.timeline import RequestTimeline, build_timelines
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.estimator import phase_utilization
-from repro.perf.phases import Deployment, decode_step_breakdown, prefill_breakdown
+from repro.perf.kernel import get_kernel
+from repro.perf.phases import Deployment
 from repro.runtime.memory_manager import MemoryManager, OutOfMemoryError
 from repro.runtime.scheduler import (
     ContinuousBatchingScheduler,
@@ -135,6 +136,7 @@ class ServingEngine:
         coalesce: bool = True,
         optimistic: bool = False,
         tracer: Tracer = NULL_TRACER,
+        kernel=None,
     ) -> None:
         """``optimistic=True`` enables vLLM's real admission policy:
         reserve only prompt blocks and preempt-and-recompute when the KV
@@ -142,10 +144,17 @@ class ServingEngine:
 
         ``tracer`` (default the no-op :data:`~repro.obs.tracer.NULL_TRACER`)
         records span/instant events and metric histograms as the run
-        executes; results are bit-identical either way."""
+        executes; results are bit-identical either way.
+
+        ``kernel`` supplies the per-iteration step costs; the default is
+        the deployment's shared :class:`~repro.perf.kernel.StepCostKernel`
+        (memoized affine fast path).  Pass a
+        :class:`~repro.perf.kernel.DirectStepCost` to force un-memoized
+        ``phases.py`` evaluation (benchmark baselines)."""
         if optimistic and not deployment.kv_spec.paged:
             raise ValueError("optimistic admission requires a paged KV spec")
         self.deployment = deployment
+        self.kernel = kernel if kernel is not None else get_kernel(deployment)
         self.tracer = tracer
         self.memory = MemoryManager(deployment, tracer=tracer)  # raises if weights don't fit
         self.max_concurrency = max_concurrency or 1024
@@ -197,12 +206,11 @@ class ServingEngine:
 
     def _run_prefill(
         self,
+        run: "EngineRun",
         admitted: list[GenerationRequest],
         decoding: list[GenerationRequest],
-        now: float,
-        energy_j: float,
-    ) -> tuple[float, float]:
-        """Prefill newly admitted prompts.
+    ) -> None:
+        """Prefill newly admitted prompts (advances ``run`` in place).
 
         With chunked prefill (vLLM chunked prefill / DS-MII Dynamic
         SplitFuse / TRT-LLM in-flight batching), the prompt is processed
@@ -213,6 +221,8 @@ class ServingEngine:
         batch = len(admitted)
         # Preempted requests re-prefill their full context (recompute).
         max_input = max(r.prefill_tokens_needed for r in admitted)
+        # Captured before any mutation: the prefill work this pass retires.
+        owed = sum(r.prefill_tokens_needed for r in admitted)
         fw = self.deployment.framework
         chunks = 1
         if fw.chunked_prefill and decoding:
@@ -220,11 +230,12 @@ class ServingEngine:
             chunks = -(-max_input // per_chunk_len)
         chunk_len = -(-max_input // chunks)
 
+        now = run.now
         traced = self.tracer.enabled
         for chunk in range(chunks):
-            breakdown = prefill_breakdown(self.deployment, batch, chunk_len)
+            breakdown = self.kernel.prefill(batch, chunk_len)
             power_w = self._phase_power(breakdown)
-            energy_j += breakdown.total_s * power_w
+            run.energy_j += breakdown.total_s * power_w
             if traced:
                 self.tracer.complete(
                     "prefill",
@@ -247,31 +258,33 @@ class ServingEngine:
             for request in decoding:
                 if request.generated_tokens < request.output_tokens:
                     request.record_token(now)
+                    run._outstanding -= 1
         for request in admitted:
             if request.generated_tokens == 0:
                 request.record_token(now)  # prefill emits the first token
+                run._outstanding -= 1
             else:
                 # A preempted request resumed: the re-prefill recreated its
                 # KV state; its next token comes from the next decode step.
                 request.state = RequestState.DECODING
-        return now, energy_j
+        run._outstanding -= owed
+        run.now = now
 
     def _run_decode_span(
         self,
-        scheduler: Scheduler,
+        run: "EngineRun",
         running: list[GenerationRequest],
         steps: int,
-        now: float,
-        energy_j: float,
-    ) -> tuple[float, float]:
+    ) -> None:
+        now = run.now
         batch = len(running)
         mean_ctx = sum(r.context_length for r in running) / batch
         # Context at the span's midpoint (contexts grow one token per step).
         span_ctx = max(1, round(mean_ctx + (steps - 1) / 2.0))
-        step_bd = decode_step_breakdown(self.deployment, batch, span_ctx)
+        step_bd = self.kernel.decode_step(batch, span_ctx)
         span_bd = step_bd.scaled(float(steps))
         step_power_w = self._phase_power(step_bd)
-        energy_j += span_bd.total_s * step_power_w
+        run.energy_j += span_bd.total_s * step_power_w
         traced = self.tracer.enabled
         if traced:
             self.tracer.complete(
@@ -295,13 +308,14 @@ class ServingEngine:
                 if request not in active:
                     continue  # preempted earlier within this step
                 if self.optimistic:
-                    self._append_or_preempt(scheduler, active, request)
+                    self._append_or_preempt(run, active, request)
                 request.record_token(token_time)
-        return now + span_bd.total_s, energy_j
+                run._outstanding -= 1
+        run.now = now + span_bd.total_s
 
     def _append_or_preempt(
         self,
-        scheduler: Scheduler,
+        run: "EngineRun",
         active: list[GenerationRequest],
         request: GenerationRequest,
     ) -> None:
@@ -309,6 +323,7 @@ class ServingEngine:
         (recompute preemption) until the pool has room."""
         from repro.runtime.paged_kv import AllocationError
 
+        scheduler = run.scheduler
         while True:
             try:
                 scheduler.allocator.append_token(request.request_id)
@@ -320,7 +335,15 @@ class ServingEngine:
                         f"request {request.request_id} cannot grow and no "
                         "victim remains to preempt"
                     )
+                pre = (
+                    victim.prefill_tokens_needed
+                    if victim.state == RequestState.PREFILLING
+                    else 0
+                )
                 scheduler.preempt(victim)
+                # Back in the queue the victim owes a full re-prefill of
+                # its restart context (beyond whatever it owed running).
+                run._outstanding += victim.prefill_tokens_needed - pre
                 if victim in active:
                     active.remove(victim)
 
@@ -377,6 +400,11 @@ class EngineRun:
         self.energy_j = 0.0
         self.idle_s = 0.0
         self.submitted: list[GenerationRequest] = []
+        # Outstanding-token tally, maintained incrementally at every
+        # submit/record_token/prefill/preemption event so the router-facing
+        # ``outstanding_tokens`` property is O(1) instead of an O(n) scan
+        # per routing instant (tests assert it equals the scan).
+        self._outstanding = 0
 
     # ------------------------------------------------------------------
 
@@ -384,6 +412,11 @@ class EngineRun:
         """Queue a request; callers submit in nondecreasing arrival order."""
         self.scheduler.submit(request)
         self.submitted.append(request)
+        self._outstanding += (
+            request.prefill_tokens_needed
+            + request.output_tokens
+            - request.generated_tokens
+        )
 
     @property
     def has_work(self) -> bool:
@@ -413,9 +446,7 @@ class EngineRun:
                 and r.state == RequestState.DECODING
                 and r.generated_tokens < r.output_tokens
             ]
-            self.now, self.energy_j = engine._run_prefill(
-                admitted, decoding, self.now, self.energy_j
-            )
+            engine._run_prefill(self, admitted, decoding)
             retired = scheduler.retire_finished()  # 1-token requests
             self._observe_retired(retired)
             return retired
@@ -440,9 +471,7 @@ class EngineRun:
             )
 
         steps = self._coalesced_steps()
-        self.now, self.energy_j = engine._run_decode_span(
-            scheduler, running, steps, self.now, self.energy_j
-        )
+        engine._run_decode_span(self, running, steps)
         self.decode_steps += steps
         retired = scheduler.retire_finished()
         self._observe_retired(retired)
@@ -470,7 +499,18 @@ class EngineRun:
 
     @property
     def outstanding_tokens(self) -> int:
-        """Work not yet done: prefill still owed plus output still to emit."""
+        """Work not yet done: prefill still owed plus output still to emit.
+
+        O(1): the tally is maintained incrementally at every submit,
+        token, prefill and preemption event.  Routers poll this per
+        routing instant, so the fleet no longer pays an O(requests) scan
+        per arrival.  :meth:`outstanding_tokens_scan` recomputes it from
+        scheduler state; tests assert the two agree after every step.
+        """
+        return self._outstanding
+
+    def outstanding_tokens_scan(self) -> int:
+        """Reference O(n) recomputation of :attr:`outstanding_tokens`."""
         total = 0
         for r in self.scheduler.waiting:
             total += r.prefill_tokens_needed + r.output_tokens - r.generated_tokens
