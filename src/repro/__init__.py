@@ -25,6 +25,12 @@ from repro.cluster import (
     DisaggregationSpec,
     get_router,
 )
+from repro.control import (
+    ControlPlane,
+    FaultSchedule,
+    RetryPolicy,
+    get_autoscaler,
+)
 from repro.core import GenerationConfig, InferenceMetrics, Precision, ResultTable
 from repro.frameworks import get_framework, list_frameworks
 from repro.hardware import get_hardware, list_hardware
@@ -45,6 +51,10 @@ __all__ = [
     "ClusterSimulator",
     "DisaggregationSpec",
     "get_router",
+    "ControlPlane",
+    "FaultSchedule",
+    "RetryPolicy",
+    "get_autoscaler",
     "GenerationConfig",
     "InferenceMetrics",
     "Precision",

@@ -19,7 +19,10 @@ trace --model M --hardware H --framework F [--batch-size N] [--rate R]
 cluster --model M --hardware H --framework F [--replicas N] [--router R]
     Simulate a multi-replica serving cluster behind a routing policy
     (optionally prefill/decode-disaggregated), or size the fleet for an
-    SLO goodput target with ``--plan-target``.
+    SLO goodput target with ``--plan-target``.  ``--faults spec.json``
+    injects a fault schedule and ``--autoscale POLICY`` scales the fleet
+    mid-run; ``--result-output`` writes the deterministic result JSON
+    the CI chaos job diffs across repeat runs.
 """
 
 from __future__ import annotations
@@ -172,6 +175,25 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_p.add_argument(
         "--trace-output", default=None, metavar="PATH",
         help="trace the run; write per-replica Chrome trace JSON here",
+    )
+
+    from repro.control import list_autoscalers
+
+    cluster_p.add_argument(
+        "--faults", default=None, metavar="SPEC.JSON",
+        help="inject the fault schedule from this JSON spec",
+    )
+    cluster_p.add_argument(
+        "--autoscale", default=None, choices=list_autoscalers(),
+        help="enable this autoscaling policy (scales --replicas up/down)",
+    )
+    cluster_p.add_argument(
+        "--autoscale-max", type=int, default=16, metavar="N",
+        help="replica ceiling for --autoscale",
+    )
+    cluster_p.add_argument(
+        "--result-output", default=None, metavar="PATH",
+        help="write the deterministic ClusterResult JSON here",
     )
 
     bench_p = sub.add_parser(
@@ -406,12 +428,31 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if args.prefill_replicas > 0
         else None
     )
+    control = None
+    if args.faults or args.autoscale:
+        from repro.control import (
+            ControlPlane,
+            FaultSchedule,
+            NullAutoscaler,
+            get_autoscaler,
+        )
+
+        faults = FaultSchedule.load(args.faults) if args.faults else None
+        autoscaler = (
+            get_autoscaler(
+                args.autoscale, slo=slo, max_replicas=args.autoscale_max
+            )
+            if args.autoscale
+            else NullAutoscaler()
+        )
+        control = ControlPlane(faults=faults, autoscaler=autoscaler)
     simulator = ClusterSimulator(
         dep,
         args.replicas,
         router=get_router(args.router, seed=args.seed),
         max_concurrency=args.max_concurrency,
         disaggregation=disagg,
+        control=control,
         traced=args.trace_output is not None,
     )
     try:
@@ -425,6 +466,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     print(result.render())
     print(result.load_report(args.rate, slo=slo).render())
+    if args.result_output:
+        import json as _json
+
+        with open(args.result_output, "w", encoding="utf-8") as fh:
+            _json.dump(result.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.result_output}")
     if args.trace_output:
         import json as _json
 

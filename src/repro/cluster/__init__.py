@@ -4,7 +4,10 @@ Scales the single-engine discrete-event simulator
 (:mod:`repro.runtime.engine`) out to a fleet: N independent replicas
 behind a pluggable routing policy, optional prefill/decode
 disaggregation with interconnect-priced KV handoffs, and a capacity
-planner that sizes the fleet for an SLO goodput target.
+planner that sizes the fleet for an SLO goodput target.  The fleet may be
+heterogeneous (per-replica deployments via ``ClusterSimulator(fleet=...)``)
+and co-simulates with the :mod:`repro.control` resilience plane: fault
+injection, request retries and SLO-driven autoscaling.
 """
 
 from repro.cluster.disagg import DisaggregationSpec, kv_transfer_time

@@ -92,15 +92,20 @@ class ClusterCapacityPlanner:
         mean_input_tokens: int = 512,
         mean_output_tokens: int = 256,
         max_concurrency: int = 32,
-        attainment_target: float = 0.95,
+        attainment_target: float | None = None,
         seed: int = 0,
     ) -> None:
-        if not 0 < attainment_target <= 1:
-            raise ValueError("attainment_target must be in (0, 1]")
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
         self.deployment = deployment
         self.slo = slo or ServiceLevelObjective()
+        # The SLO object is the single definition of serving targets
+        # (shared with the control plane's autoscaler); the explicit kwarg
+        # survives as an override for sweeps over the attainment bar.
+        if attainment_target is None:
+            attainment_target = self.slo.attainment_target
+        if not 0 < attainment_target <= 1:
+            raise ValueError("attainment_target must be in (0, 1]")
         self.router_factory = router_factory or LeastOutstandingTokensRouter
         self.trace_factory = trace_factory or (
             lambda n, rate, seed: open_loop_trace(

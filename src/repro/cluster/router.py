@@ -75,8 +75,18 @@ class Router:
 
 
 def _least_outstanding(replicas: Sequence["Replica"]) -> "Replica":
-    """Lowest outstanding-token replica; ties break to the lowest index."""
-    return min(replicas, key=lambda r: (r.outstanding_tokens, r.index))
+    """Least-loaded replica; ties break to the lowest index.
+
+    Load is outstanding tokens normalized by each replica's
+    ``capacity_weight`` (its kernel-predicted decode rate relative to the
+    fleet's base deployment), so a 2x-faster replica in a heterogeneous
+    fleet absorbs 2x the queue before looking equally busy.  Homogeneous
+    fleets carry weight exactly 1.0 and order as before.
+    """
+    return min(
+        replicas,
+        key=lambda r: (r.outstanding_tokens / r.capacity_weight, r.index),
+    )
 
 
 class RoundRobinRouter(Router):

@@ -1,0 +1,197 @@
+"""Autoscaling policies for the cluster control plane.
+
+A policy looks at a :class:`FleetView` — the operator-facing signals the
+control plane samples on every control tick — and answers with a replica
+delta: +1 (scale up), -1 (scale down) or 0 (hold).  The plane enforces
+the mechanics around that answer: cooldown between actions, the
+``min_replicas``/``max_replicas`` bounds, and the warm-up (weight-load)
+delay a new replica pays before it can take traffic.
+
+Two real policies ship alongside the null one:
+
+* **queue-depth** — the classic threshold controller: scale up when the
+  mean per-replica queue depth crosses the high watermark, down when it
+  falls under the low watermark.  The watermark gap is the hysteresis
+  band that stops flapping.
+* **slo** — goodput-driven: scale up when SLO attainment over the
+  trailing window drops below the :class:`~repro.runtime.loadgen
+  .ServiceLevelObjective`'s ``attainment_target``, down only when
+  attainment holds *and* the tail TTFT (p95, computed with
+  :func:`repro.obs.metrics.percentile`) sits comfortably inside the
+  bound with nothing queued.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.runtime.loadgen import ServiceLevelObjective
+
+__all__ = [
+    "FleetView",
+    "AutoscalePolicy",
+    "NullAutoscaler",
+    "QueueDepthAutoscaler",
+    "SLOAutoscaler",
+    "AUTOSCALER_NAMES",
+    "get_autoscaler",
+    "list_autoscalers",
+]
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """What a policy sees at one control tick.
+
+    ``slo_attainment`` and ``ttft_p95_s`` are computed over the trailing
+    metrics window from the requests that finished inside it; both are
+    NaN while the window is empty (policies must treat NaN as "no
+    signal", not as zero).
+    """
+
+    now_s: float
+    num_serving: int  # alive, warmed, not draining
+    num_warming: int  # spun up, still loading weights
+    queue_depth: int  # waiting requests across the serving fleet
+    outstanding_tokens: int
+    slo_attainment: float  # NaN with no completions in the window
+    ttft_p95_s: float  # NaN with no completions in the window
+
+    @property
+    def num_provisioned(self) -> int:
+        """Capacity already paid for: serving plus still-warming."""
+        return self.num_serving + self.num_warming
+
+    @property
+    def queue_per_replica(self) -> float:
+        return self.queue_depth / max(1, self.num_provisioned)
+
+
+class AutoscalePolicy:
+    """Policy interface; subclasses override :meth:`decide`.
+
+    ``min_replicas``/``max_replicas`` bound the serving fleet size and
+    ``cooldown_s`` spaces consecutive actions; the control plane enforces
+    all three, so :meth:`decide` only has to express intent.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        min_replicas: int = 1,
+        max_replicas: int = 16,
+        cooldown_s: float = 2.0,
+    ) -> None:
+        if min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {min_replicas}")
+        if max_replicas < min_replicas:
+            raise ValueError(
+                f"max_replicas ({max_replicas}) < min_replicas ({min_replicas})"
+            )
+        if cooldown_s < 0.0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.cooldown_s = cooldown_s
+
+    def decide(self, view: FleetView) -> int:
+        """Replica delta for this tick: +1, -1 or 0."""
+        raise NotImplementedError
+
+
+class NullAutoscaler(AutoscalePolicy):
+    """Never scales; the do-nothing policy the equivalence tests pin."""
+
+    name = "null"
+
+    def decide(self, view: FleetView) -> int:
+        return 0
+
+
+class QueueDepthAutoscaler(AutoscalePolicy):
+    """Threshold controller on mean per-replica queue depth."""
+
+    name = "queue-depth"
+
+    def __init__(
+        self,
+        high_watermark: float = 4.0,
+        low_watermark: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if low_watermark < 0 or high_watermark <= low_watermark:
+            raise ValueError(
+                "need 0 <= low_watermark < high_watermark, got "
+                f"[{low_watermark}, {high_watermark}]"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+
+    def decide(self, view: FleetView) -> int:
+        per_replica = view.queue_per_replica
+        if per_replica > self.high_watermark:
+            return 1
+        if per_replica < self.low_watermark and view.outstanding_tokens == 0:
+            return -1
+        return 0
+
+
+class SLOAutoscaler(AutoscalePolicy):
+    """Scale on windowed SLO attainment against the objective's target."""
+
+    name = "slo"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective | None = None,
+        scale_down_ttft_margin: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0 < scale_down_ttft_margin <= 1:
+            raise ValueError("scale_down_ttft_margin must be in (0, 1]")
+        self.slo = slo or ServiceLevelObjective()
+        self.scale_down_ttft_margin = scale_down_ttft_margin
+
+    def decide(self, view: FleetView) -> int:
+        attainment = view.slo_attainment
+        if math.isnan(attainment):
+            return 0  # no completions yet: no signal either way
+        if attainment < self.slo.attainment_target:
+            return 1
+        p95 = view.ttft_p95_s
+        tail_ok = math.isnan(p95) or (
+            p95 < self.scale_down_ttft_margin * self.slo.ttft_s
+        )
+        if tail_ok and view.queue_depth == 0:
+            return -1
+        return 0
+
+
+AUTOSCALER_NAMES: dict[str, type[AutoscalePolicy]] = {
+    cls.name: cls
+    for cls in (NullAutoscaler, QueueDepthAutoscaler, SLOAutoscaler)
+}
+
+
+def get_autoscaler(
+    name: str,
+    slo: ServiceLevelObjective | None = None,
+    **kwargs,
+) -> AutoscalePolicy:
+    """Instantiate a policy by registry name (``slo`` feeds the slo policy)."""
+    try:
+        cls = AUTOSCALER_NAMES[name]
+    except KeyError:
+        known = ", ".join(sorted(AUTOSCALER_NAMES))
+        raise KeyError(f"unknown autoscaler {name!r} (known: {known})") from None
+    if cls is SLOAutoscaler:
+        return cls(slo=slo, **kwargs)
+    return cls(**kwargs)
+
+
+def list_autoscalers() -> list[str]:
+    return sorted(AUTOSCALER_NAMES)

@@ -1,0 +1,97 @@
+"""The resilience control plane that co-simulates with the cluster.
+
+A :class:`ControlPlane` bundles the three resilience levers the cluster
+simulator understands:
+
+* a :class:`~repro.control.faults.FaultSchedule` replayed on the
+  simulation clock (crashes, straggler windows, KV-handoff loss),
+* a :class:`~repro.control.faults.RetryPolicy` governing how displaced
+  requests re-enter the router,
+* an :class:`~repro.control.autoscale.AutoscalePolicy` consulted on a
+  fixed control tick, with replica warm-up (weight load over the node
+  interconnect) priced from the hardware spec.
+
+The default-constructed plane is **null**: no faults, no retries needed,
+a :class:`~repro.control.autoscale.NullAutoscaler`.  The simulator
+treats a null plane exactly like no plane at all — it pushes no control
+events onto the heap and emits no fleet gauges — so ``ClusterResult``
+stays bit-identical to an uncontrolled run (tested).
+"""
+
+from __future__ import annotations
+
+from repro.control.autoscale import AutoscalePolicy, NullAutoscaler
+from repro.control.faults import FaultSchedule, RetryPolicy
+from repro.hardware.interconnect import p2p_time
+from repro.perf.phases import Deployment
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Configuration + pricing for fault/autoscale co-simulation.
+
+    ``tick_interval_s`` spaces the autoscaler's observation points on the
+    simulation clock.  ``warmup_extra_s`` adds a fixed process-start cost
+    (container pull, engine compile) on top of the interconnect-priced
+    weight load.  ``scale_deployment`` is the shape new replicas come up
+    with; it defaults to the cluster's base deployment.
+    """
+
+    def __init__(
+        self,
+        faults: FaultSchedule | None = None,
+        autoscaler: AutoscalePolicy | None = None,
+        retry: RetryPolicy | None = None,
+        tick_interval_s: float = 0.5,
+        metrics_window_s: float = 5.0,
+        warmup_extra_s: float = 0.0,
+        scale_deployment: Deployment | None = None,
+    ) -> None:
+        if tick_interval_s <= 0:
+            raise ValueError(
+                f"tick_interval_s must be positive, got {tick_interval_s}"
+            )
+        if metrics_window_s <= 0:
+            raise ValueError(
+                f"metrics_window_s must be positive, got {metrics_window_s}"
+            )
+        if warmup_extra_s < 0:
+            raise ValueError(
+                f"warmup_extra_s must be >= 0, got {warmup_extra_s}"
+            )
+        self.faults = faults or FaultSchedule()
+        self.autoscaler = autoscaler or NullAutoscaler()
+        self.retry = retry or RetryPolicy()
+        self.tick_interval_s = tick_interval_s
+        self.metrics_window_s = metrics_window_s
+        self.warmup_extra_s = warmup_extra_s
+        self.scale_deployment = scale_deployment
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plane can never perturb a run.
+
+        A null plane has no faults to replay and an autoscaler that never
+        scales, so the simulator skips control events entirely and the
+        result is bit-identical to an uncontrolled run.
+        """
+        return not self.faults and isinstance(self.autoscaler, NullAutoscaler)
+
+    def warmup_s(self, deployment: Deployment) -> float:
+        """Weight-load delay before a freshly scaled replica serves.
+
+        Each device pulls its shard of the (framework-inflated) weight
+        footprint over the node interconnect — the realistic floor for
+        loading from a weight cache or peer replica — plus any fixed
+        ``warmup_extra_s`` start cost.
+        """
+        weight_bytes = (
+            deployment.model.total_params
+            * deployment.quant.weight_bytes_per_param()
+            * deployment.framework.memory_overhead_factor
+        )
+        per_device = weight_bytes / deployment.num_devices
+        return p2p_time(deployment.hardware.interconnect, per_device) + (
+            self.warmup_extra_s
+        )

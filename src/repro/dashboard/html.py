@@ -180,11 +180,12 @@ def cluster_section_html(
 ) -> str:
     """Static HTML fragment for one cluster run: replica table + gauges.
 
-    Per-replica rows (role, requests served, busy time, utilization bar)
-    followed by the cluster metrics snapshot (fleet gauges sampled at
-    every routing instant, TTFT/ITL histograms) via
-    :func:`metrics_section_html`.  Embeddable below the experiment
-    browser the same way the traced-engine metrics section is.
+    Per-replica rows (role, status, requests served, busy time,
+    utilization bar) followed by fault-injection and autoscale event
+    tables when the control plane acted, then the cluster metrics
+    snapshot (fleet gauges sampled at every routing instant, TTFT/ITL
+    histograms) via :func:`metrics_section_html`.  Embeddable below the
+    experiment browser the same way the traced-engine metrics section is.
     """
     parts = [f"<h2>{html.escape(title)}</h2>"]
     parts.append(
@@ -194,22 +195,70 @@ def cluster_section_html(
         f"requests, makespan {result.makespan_s:.2f}&nbsp;s"
         + (f", {result.handoffs} KV handoffs" if result.handoffs else "")
         + (f", {result.prefix_hits} prefix hits" if result.prefix_hits else "")
+        + (f", {result.retries} retries" if result.retries else "")
+        + (
+            f", {result.failed_requests} failed"
+            if result.failed_requests
+            else ""
+        )
         + "</p>"
     )
     parts.append(
         "<table class='data'><tr><th>replica</th><th>role</th>"
-        "<th>requests</th><th>busy s</th><th>utilization</th><th></th></tr>"
+        "<th>status</th><th>requests</th><th>busy s</th>"
+        "<th>utilization</th><th></th></tr>"
     )
     for rep in result.replicas:
         width = round(200 * min(1.0, max(0.0, rep.utilization)))
         parts.append(
             f"<tr><td>{html.escape(rep.name)}</td>"
             f"<td>{html.escape(rep.role)}</td>"
+            f"<td>{html.escape(rep.status)}</td>"
             f"<td>{rep.requests_served}</td><td>{rep.busy_s:.2f}</td>"
             f"<td>{rep.utilization:.0%}</td>"
             f"<td><span class='bar' style='width:{width}px'></span></td></tr>"
         )
     parts.append("</table>")
+    if result.fault_log:
+        parts.append("<h3>Injected faults</h3>")
+        parts.append(
+            "<table class='data'><tr><th>t (s)</th><th>kind</th>"
+            "<th>replica</th><th>detail</th></tr>"
+        )
+        for fault in result.fault_log:
+            detail = ""
+            if fault.get("duration_s"):
+                detail = f"{fault['duration_s']:.2f}s"
+                if fault.get("factor", 1.0) != 1.0:
+                    detail += f" x{fault['factor']:g}"
+            if "requeued" in fault:
+                detail = f"{fault['requeued']} requests requeued"
+            parts.append(
+                f"<tr><td>{fault['at_s']:.2f}</td>"
+                f"<td>{html.escape(fault['kind'])}</td>"
+                f"<td>{html.escape(fault.get('replica') or '-')}</td>"
+                f"<td>{html.escape(detail)}</td></tr>"
+            )
+        parts.append("</table>")
+    if result.scale_log:
+        parts.append("<h3>Autoscale events</h3>")
+        parts.append(
+            "<table class='data'><tr><th>t (s)</th><th>action</th>"
+            "<th>replica</th><th>ready (s)</th></tr>"
+        )
+        for event in result.scale_log:
+            ready = (
+                f"{event['ready_s']:.2f}"
+                if event.get("ready_s") is not None
+                else "-"
+            )
+            parts.append(
+                f"<tr><td>{event['ts_s']:.2f}</td>"
+                f"<td>{html.escape(event['action'])}</td>"
+                f"<td>{html.escape(event.get('replica') or '-')}</td>"
+                f"<td>{ready}</td></tr>"
+            )
+        parts.append("</table>")
     parts.append(metrics_section_html(result.metrics, title="Cluster metrics"))
     return "\n".join(parts)
 

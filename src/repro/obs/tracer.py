@@ -40,6 +40,7 @@ CATEGORIES = (
     "kv_alloc",
     "power_sample",
     "engine",
+    "control",  # fault injections, retries, autoscale actions
 )
 
 # Chrome trace_event phase codes used by this tracer.

@@ -234,6 +234,8 @@ class ServingEngine:
         traced = self.tracer.enabled
         for chunk in range(chunks):
             breakdown = self.kernel.prefill(batch, chunk_len)
+            if run.cost_scale != 1.0:  # fault-injected straggler multiplier
+                breakdown = breakdown.scaled(run.cost_scale)
             power_w = self._phase_power(breakdown)
             run.energy_j += breakdown.total_s * power_w
             if traced:
@@ -282,6 +284,8 @@ class ServingEngine:
         # Context at the span's midpoint (contexts grow one token per step).
         span_ctx = max(1, round(mean_ctx + (steps - 1) / 2.0))
         step_bd = self.kernel.decode_step(batch, span_ctx)
+        if run.cost_scale != 1.0:  # fault-injected straggler multiplier
+            step_bd = step_bd.scaled(run.cost_scale)
         span_bd = step_bd.scaled(float(steps))
         step_power_w = self._phase_power(step_bd)
         run.energy_j += span_bd.total_s * step_power_w
@@ -395,6 +399,11 @@ class EngineRun:
         )
         self._pressure = pressure
         self.now = 0.0
+        # Control-plane hook: every committed step cost is multiplied by
+        # this factor.  1.0 (the default) is checked by identity before any
+        # arithmetic, so un-faulted runs stay bit-identical; a fault
+        # schedule sets it >1.0 for the duration of a straggler window.
+        self.cost_scale = 1.0
         self.iterations = 0
         self.decode_steps = 0
         self.energy_j = 0.0

@@ -31,19 +31,34 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ServiceLevelObjective:
-    """Per-request latency targets (chat defaults per Section VII-2)."""
+    """Per-request latency targets (chat defaults per Section VII-2).
+
+    The single definition of serving objectives shared by the load
+    generator, the cluster capacity planner and the control plane's
+    SLO-driven autoscaler: TTFT and ITL bounds, an optional end-to-end
+    latency bound, and the attainment fraction a fleet must reach for a
+    rate to count as sustained.
+    """
 
     ttft_s: float = 1.5
     itl_s: float = 1.0 / 12.0  # >= 12 streamed tokens/s
+    e2e_s: float | None = None  # optional end-to-end latency bound
+    attainment_target: float = 0.95  # fraction of requests that must meet it
 
     def __post_init__(self) -> None:
         if self.ttft_s <= 0 or self.itl_s <= 0:
             raise ValueError("SLO bounds must be positive")
+        if self.e2e_s is not None and self.e2e_s <= 0:
+            raise ValueError("SLO bounds must be positive")
+        if not 0 < self.attainment_target <= 1:
+            raise ValueError("attainment_target must be in (0, 1]")
 
     def met_by(self, request: GenerationRequest) -> bool:
         if request.first_token_time is None or request.finish_time is None:
             return False
         if request.ttft_s > self.ttft_s:
+            return False
+        if self.e2e_s is not None and request.end_to_end_latency_s > self.e2e_s:
             return False
         if request.output_tokens > 1:
             itl = (request.finish_time - request.first_token_time) / (

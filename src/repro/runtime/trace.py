@@ -1,26 +1,13 @@
-"""Deprecated alias for :mod:`repro.runtime.workload`.
+"""Removed module: the workload generators live in ``repro.runtime.workload``.
 
 ``repro.runtime.trace`` held the workload generators before the event
-tracer (:mod:`repro.obs.tracer`) took over the word "trace"; import from
-``repro.runtime.workload`` instead.  This shim re-exports the public API
-and will be removed in a future release.
+tracer (:mod:`repro.obs.tracer`) took over the word "trace".  The
+deprecation shim that re-exported them is gone; importing this module now
+fails loudly with a pointer to the new home rather than silently aliasing
+two different meanings of "trace".
 """
 
-from __future__ import annotations
-
-import warnings
-
-from repro.runtime.workload import (  # noqa: F401  (re-exports)
-    TraceSummary,
-    blended_trace,
-    fixed_batch_trace,
-    poisson_trace,
-)
-
-__all__ = ["TraceSummary", "blended_trace", "fixed_batch_trace", "poisson_trace"]
-
-warnings.warn(
-    "repro.runtime.trace is deprecated; import from repro.runtime.workload",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.runtime.trace was removed; import TraceSummary, blended_trace, "
+    "fixed_batch_trace and poisson_trace from repro.runtime.workload instead"
 )

@@ -91,15 +91,13 @@ class TestTraceSummary:
             TraceSummary.of([])
 
 
-class TestDeprecatedTraceShim:
-    def test_old_module_name_warns_and_reexports(self):
+class TestRemovedTraceModule:
+    def test_old_module_name_raises_with_pointer(self):
         import importlib
         import sys
 
         sys.modules.pop("repro.runtime.trace", None)
-        with pytest.warns(DeprecationWarning, match="repro.runtime.workload"):
-            shim = importlib.import_module("repro.runtime.trace")
-        assert shim.fixed_batch_trace is fixed_batch_trace
-        assert shim.poisson_trace is poisson_trace
-        assert shim.blended_trace is blended_trace
-        assert shim.TraceSummary is TraceSummary
+        with pytest.raises(ImportError, match="repro.runtime.workload"):
+            importlib.import_module("repro.runtime.trace")
+        # The failed import must not leave a half-initialized module behind.
+        assert "repro.runtime.trace" not in sys.modules
