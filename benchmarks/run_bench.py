@@ -8,7 +8,10 @@ harness runs from a checkout without installing the package::
         [--baseline benchmarks/baseline.json]
 
 See docs/performance.md for what each benchmark measures and how the CI
-regression gate uses ``benchmarks/baseline.json``.
+regression gate uses ``benchmarks/baseline.json``.  The harness also
+reports ``profiler_overhead`` — the cost of running the engine with the
+cost-attribution profiler on (docs/observability.md); the regression gate
+itself stays on the unprofiled engine iteration rate.
 """
 
 import sys

@@ -1,0 +1,105 @@
+"""Cost attribution: where every simulated second (and joule) goes.
+
+The paper reads bottlenecks off roofline plots; the simulator makes them a
+runtime measurement.  This example runs a bursty workload with the
+cost-attribution profiler on and shows the three views it produces:
+
+* the per-phase roofline breakdown (compute / weights / KV / activations /
+  communication / overhead shares, each phase's dominant mechanism);
+* hardware-utilization counters — MFU, MBU, tokens/s, average power and
+  energy per token — also emitted as Perfetto counter tracks under the
+  ``profile`` lane of the trace;
+* per-request attribution (what each request cost, and why).
+
+It then cross-checks the runtime profile against the static analyzer
+(``repro.analysis.analyze``) and demonstrates the zero-overhead invariant:
+with profiling off the engine's simulated clock is bit-identical.
+
+Outputs are deterministic — the CI profile job runs this twice and diffs
+the JSON byte for byte.
+
+Run:  python examples/cost_profile.py [profile.json] [profile_trace.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro import EventTracer, ServingEngine
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.obs.export import counter_series, write_chrome_trace
+from repro.perf.phases import Deployment
+
+MODEL = "LLaMA-3-8B"
+HARDWARE = "MI250"
+FRAMEWORK = "vLLM"
+
+
+def build_deployment() -> Deployment:
+    return Deployment(
+        get_model(MODEL), get_hardware(HARDWARE), get_framework(FRAMEWORK)
+    )
+
+
+def main() -> None:
+    profile_path = sys.argv[1] if len(sys.argv) > 1 else "cost_profile.json"
+    trace_path = sys.argv[2] if len(sys.argv) > 2 else "cost_profile_trace.json"
+
+    from repro.runtime.workload import poisson_trace
+
+    def build_workload():
+        return poisson_trace(32, rate_per_s=6.0, input_tokens=512,
+                             output_tokens=192, seed=0)
+
+    dep = build_deployment()
+    workload = build_workload()
+
+    tracer = EventTracer()
+    engine = ServingEngine(dep, max_concurrency=16, tracer=tracer, profile=True)
+    result = engine.run(workload)
+    profile = result.profile
+    assert profile is not None
+
+    print(f"{MODEL} / {HARDWARE} / {FRAMEWORK} — {len(workload)} requests\n")
+    print(profile.render(max_requests=5))
+
+    # The runtime profile and the static roofline analyzer agree on the
+    # bottleneck — one is measured over a simulated run, the other solved
+    # in closed form, but both partition the same cost model.
+    from repro.analysis import analyze
+    from repro.core.request import GenerationConfig
+
+    static = analyze(dep, GenerationConfig(512, 192, 16))
+    print(f"\nstatic analyzer end-to-end bottleneck: "
+          f"{static.end_to_end_bottleneck}")
+
+    # Counter tracks ride the event trace: one sample per engine step.
+    mfu = counter_series(tracer.events, "mfu", category="profile")
+    watts = counter_series(tracer.events, "watts", category="profile")
+    print(f"counter tracks: {len(mfu)} mfu samples "
+          f"(peak {max(v for _, v in mfu):.1%}), "
+          f"{len(watts)} watts samples "
+          f"(peak {max(v for _, v in watts):,.0f} W)")
+
+    # Zero-overhead invariant: with profiling off the simulated clock is
+    # bit-identical — attribution is observation, never perturbation.
+    plain = ServingEngine(dep, max_concurrency=16).run(build_workload())
+    assert plain.total_time_s == result.total_time_s
+    print("(profiling off reproduces the identical simulated clock)")
+
+    with open(profile_path, "w", encoding="utf-8") as fh:
+        json.dump(profile.to_json_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    write_chrome_trace(trace_path, tracer.events, metadata={
+        "model": MODEL, "hardware": HARDWARE, "framework": FRAMEWORK,
+        "requests": len(workload), "makespan_s": result.total_time_s,
+    })
+    print(f"wrote {profile_path} and {trace_path} "
+          "(open the trace in https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.core.metrics import LatencyBreakdown
+from repro.core.metrics import CostComponents, LatencyBreakdown
 from repro.core.request import GenerationConfig
 from repro.perf.estimator import InferenceEstimator
 from repro.perf.phases import Deployment
@@ -70,6 +70,31 @@ class PhaseAttribution:
             activation_bandwidth=bd.activation_memory_s / t,
             communication=bd.communication_s / t,
             overhead=bd.overhead_s / t,
+        )
+
+    @classmethod
+    def from_components(
+        cls, phase: str, components: CostComponents
+    ) -> "PhaseAttribution":
+        """Attribution from an exact-sum runtime partition.
+
+        The runtime profiler's :class:`~repro.core.metrics.CostComponents`
+        scales every raw leg by the same factor, so these fractions sum to
+        1 and share the *ordering* of :meth:`from_breakdown`'s — the two
+        paths always agree on :attr:`dominant` (the consistency-bridge
+        test in ``tests/test_profiler.py`` enforces this).
+        """
+        if components.total_s <= 0:
+            raise ValueError(f"{phase}: empty component partition")
+        shares = components.fractions()
+        return cls(
+            phase=phase,
+            compute=shares["compute_s"],
+            weight_bandwidth=shares["weight_s"],
+            kv_bandwidth=shares["kv_s"],
+            activation_bandwidth=shares["activation_s"],
+            communication=shares["communication_s"],
+            overhead=shares["overhead_s"],
         )
 
 

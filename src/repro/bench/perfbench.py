@@ -1,6 +1,6 @@
 """Before/after performance benchmarks for the step-cost kernel.
 
-Times the simulator's four hot paths twice — once through the un-memoized
+Times the simulator's hot paths twice — once through the un-memoized
 ``phases.py`` roofline (:class:`~repro.perf.kernel.DirectStepCost`) and
 once through the shared :class:`~repro.perf.kernel.StepCostKernel` — and
 writes a ``BENCH_<date>.json`` record so the repo carries a measured perf
@@ -12,7 +12,10 @@ trajectory across PRs:
 * **engine_iteration_rate** — a full :meth:`ServingEngine.run` over an
   open-loop trace (iterations/s is the CI regression metric);
 * **cluster_run** — a multi-replica :class:`ClusterSimulator` run with one
-  kernel shared across the fleet.
+  kernel shared across the fleet;
+* **profiler_overhead** — the same engine run unprofiled vs with the
+  cost-attribution profiler on (``speedup`` < 1 reports the overhead of
+  ``profile=True``; the CI gate stays on the unprofiled iteration rate).
 
 Every pair is checked for agreement before timings are reported — a
 benchmark that got faster by computing something else is a bug, not a win.
@@ -232,8 +235,48 @@ def _bench_cluster(
     }
 
 
+def _bench_profiler_overhead(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    """Cost of the cost profiler itself: unprofiled vs profiled engine run.
+
+    ``before_s`` is the plain kernel-path run (profiling off — the default
+    every other benchmark and production sweep uses), ``after_s`` the same
+    run with ``profile=True``.  The simulated clock must be bit-identical
+    between the two; ``speedup`` < 1 here is expected and reports the
+    overhead factor of turning attribution on.  The CI regression gate
+    stays on the unprofiled ``engine_iteration_rate`` benchmark, which
+    this entry deliberately leaves untouched.
+    """
+    num_requests = 24 if reduced else 64
+    trace_args = (num_requests, 4.0, 384, 160)
+
+    def run_with(profile: bool) -> object:
+        engine = ServingEngine(
+            dep, max_concurrency=16, kernel=kernel, profile=profile
+        )
+        return engine.run(open_loop_trace(*trace_args, seed=7))
+
+    plain_result = run_with(False)
+    profiled_result = run_with(True)
+    if plain_result.total_time_s != profiled_result.total_time_s:
+        raise AssertionError("profiling changed the simulated clock")
+    if profiled_result.profile is None:
+        raise AssertionError("profiled run produced no ProfileReport")
+
+    before = _best_of(lambda: run_with(False), repeats)
+    after = _best_of(lambda: run_with(True), repeats)
+    return {
+        "iterations": float(plain_result.iterations),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "overhead_factor": after / before,
+    }
+
+
 def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
-    """Run the four before/after benchmarks and assemble a report."""
+    """Run the five before/after benchmarks and assemble a report."""
     if repeats is None:
         repeats = 2 if reduced else 3
     dep = _reference_deployment()
@@ -243,6 +286,9 @@ def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchRe
         "estimator_points": _bench_estimator_points(dep, kernel, reduced, repeats),
         "engine_iteration_rate": _bench_engine(dep, kernel, reduced, repeats),
         "cluster_run": _bench_cluster(dep, kernel, reduced, repeats),
+        "profiler_overhead": _bench_profiler_overhead(
+            dep, kernel, reduced, repeats
+        ),
     }
     return BenchReport(
         date=datetime.date.today().isoformat(),

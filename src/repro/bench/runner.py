@@ -150,6 +150,36 @@ class BenchmarkRunner:
         )
         return engine.run(trace)
 
+    def run_profiled(
+        self,
+        deployment: Deployment,
+        trace: list,
+        max_concurrency: int | None = None,
+        optimistic: bool = False,
+        tracer: Tracer | None = None,
+    ) -> EngineResult:
+        """Run a request trace with cost-attribution profiling enabled.
+
+        The entry point behind ``llm-inference-bench profile``: the
+        returned :class:`EngineResult` carries a
+        :class:`~repro.obs.profiler.ProfileReport` in ``profile``.  Pass
+        a recording ``tracer`` to also capture Perfetto counter tracks
+        (mfu, mbu, tokens/s, watts, joules/token) alongside the engine's
+        span events.  Raises :class:`OutOfMemoryError` like
+        :meth:`run_traced`.
+        """
+        kwargs = {} if tracer is None else {"tracer": tracer}
+        engine = ServingEngine(
+            deployment,
+            max_concurrency=max_concurrency
+            or self.max_concurrency
+            or len(trace),
+            optimistic=optimistic,
+            profile=True,
+            **kwargs,
+        )
+        return engine.run(trace)
+
     def run_sweep(
         self,
         table: ResultTable,

@@ -16,6 +16,12 @@ trace --model M --hardware H --framework F [--batch-size N] [--rate R]
     Run one workload on the event engine with tracing enabled; write
     Chrome ``trace_event`` JSON (Perfetto-loadable) and print the
     flamegraph-style summary with TTFT/ITL percentiles.
+profile --model M --hardware H --framework F [--batch-size N] [--rate R]
+    Run one workload with the cost-attribution profiler: print the
+    per-phase roofline breakdown with MFU/MBU/energy counters, write the
+    deterministic profile JSON, and optionally a Perfetto trace whose
+    counter tracks carry mfu/mbu/tokens_per_s/watts/joules_per_token
+    (``--trace-output``).
 cluster --model M --hardware H --framework F [--replicas N] [--router R]
     Simulate a multi-replica serving cluster behind a routing policy
     (optionally prefill/decode-disaggregated), or size the fleet for an
@@ -64,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--table", action="store_true", help="print the full sweep table too"
+    )
+    run_p.add_argument(
+        "--metrics-output", default=None, metavar="PATH",
+        help="write the experiments' tables and headline metrics as JSON",
+    )
+    run_p.add_argument(
+        "--profile-output", default=None, metavar="PATH",
+        help="write per-row static cost attribution (roofline shares) as JSON",
     )
 
     point_p = sub.add_parser("point", help="run a single benchmark point")
@@ -135,6 +149,41 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--timelines", type=int, default=8, metavar="N",
                          help="show the N slowest-TTFT request timelines")
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="run a workload with cost-attribution profiling; write profile JSON",
+    )
+    profile_p.add_argument("--model", required=True)
+    profile_p.add_argument("--hardware", required=True)
+    profile_p.add_argument("--framework", required=True)
+    profile_p.add_argument("--batch-size", type=int, default=8)
+    profile_p.add_argument("--input-tokens", type=int, default=1024)
+    profile_p.add_argument("--output-tokens", type=int, default=1024)
+    profile_p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="Poisson arrival rate (req/s); omit for the paper's fixed batch",
+    )
+    profile_p.add_argument(
+        "--num-requests",
+        type=int,
+        default=None,
+        help="request count for --rate workloads (default 4x batch size)",
+    )
+    profile_p.add_argument("--seed", type=int, default=0,
+                           help="RNG seed for --rate arrival draws")
+    profile_p.add_argument("--optimistic", action="store_true",
+                           help="vLLM optimistic admission (preempt+recompute)")
+    profile_p.add_argument("--output", default="profile.json",
+                           help="deterministic profile JSON path")
+    profile_p.add_argument(
+        "--trace-output", default=None, metavar="PATH",
+        help="also write a Perfetto trace with mfu/mbu/power counter tracks",
+    )
+    profile_p.add_argument("--requests-shown", type=int, default=8, metavar="N",
+                           help="show the N most expensive request profiles")
+
     from repro.cluster import list_routers
 
     cluster_p = sub.add_parser(
@@ -195,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-output", default=None, metavar="PATH",
         help="write the deterministic ClusterResult JSON here",
     )
+    cluster_p.add_argument(
+        "--metrics-output", default=None, metavar="PATH",
+        help="write the fleet MetricsSnapshot as JSON",
+    )
+    cluster_p.add_argument(
+        "--profile-output", default=None, metavar="PATH",
+        help="profile the run; write the merged fleet ProfileReport JSON",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -231,14 +288,97 @@ def _cmd_list() -> int:
     return 0
 
 
+def _write_json(path: str, payload: object) -> None:
+    """Deterministic JSON output convention shared by every export flag."""
+    import json as _json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        _json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+_ROW_DEPLOYMENT_KEYS = (
+    "model", "hardware", "framework", "devices",
+    "batch_size", "input_tokens", "output_tokens",
+)
+
+
+def _static_row_profiles(
+    runner: BenchmarkRunner, rows: list[dict[str, object]]
+) -> list[dict[str, object]]:
+    """Static roofline attribution for sweep rows that name a full point.
+
+    Rows produced by :meth:`BenchmarkRunner.run_sweep` carry the complete
+    deployment key set; headline tables that aggregate it away — and rows
+    whose point cannot be rebuilt from the default plan (custom TP or
+    quantization variants), OOM lanes, or single-output-token workloads —
+    are skipped rather than mis-attributed.
+    """
+    from repro.analysis import analyze
+
+    profiles: list[dict[str, object]] = []
+    for row in rows:
+        if any(key not in row for key in _ROW_DEPLOYMENT_KEYS) or row.get("oom"):
+            continue
+        try:
+            dep = runner.deployment(
+                str(row["model"]), str(row["hardware"]), str(row["framework"])
+            )
+            if dep.num_devices != row["devices"]:
+                continue
+            config = GenerationConfig(
+                int(row["input_tokens"]),  # type: ignore[arg-type]
+                int(row["output_tokens"]),  # type: ignore[arg-type]
+                int(row["batch_size"]),  # type: ignore[arg-type]
+            )
+            report = analyze(dep, config)
+        except ValueError:
+            continue
+        entry: dict[str, object] = {
+            key: row[key] for key in _ROW_DEPLOYMENT_KEYS
+        }
+        for attribution in (report.prefill, report.decode):
+            entry[attribution.phase] = {
+                "compute": attribution.compute,
+                "weight_bandwidth": attribution.weight_bandwidth,
+                "kv_bandwidth": attribution.kv_bandwidth,
+                "activation_bandwidth": attribution.activation_bandwidth,
+                "communication": attribution.communication,
+                "overhead": attribution.overhead,
+                "dominant": str(attribution.dominant),
+            }
+        entry["end_to_end_bottleneck"] = str(report.end_to_end_bottleneck)
+        entry["decode_share_of_e2e"] = report.decode_share_of_e2e
+        profiles.append(entry)
+    return profiles
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = BenchmarkRunner(use_engine=args.engine)
+    metrics_payload: dict[str, object] = {}
+    profile_payload: dict[str, object] = {}
     for eid in args.experiments:
         result = run_experiment(eid, runner)
         print(result.render())
         if args.table:
             print(result.table.render())
         print()
+        if args.metrics_output:
+            metrics_payload[result.experiment_id] = {
+                "title": result.title,
+                "measured": dict(result.measured),
+                "paper": dict(result.paper),
+                "rows": result.table.to_dicts(),
+            }
+        if args.profile_output:
+            profile_payload[result.experiment_id] = _static_row_profiles(
+                runner, result.table.to_dicts()
+            )
+    if args.metrics_output:
+        _write_json(args.metrics_output, metrics_payload)
+    if args.profile_output:
+        _write_json(args.profile_output, profile_payload)
     return 0
 
 
@@ -374,6 +514,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import EventTracer, write_chrome_trace
+    from repro.runtime.memory_manager import OutOfMemoryError
+    from repro.runtime.workload import fixed_batch_trace, poisson_trace
+
+    runner = BenchmarkRunner(use_engine=True)
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    if args.rate is not None:
+        num = args.num_requests or 4 * args.batch_size
+        workload = poisson_trace(
+            num, args.rate, args.input_tokens, args.output_tokens, seed=args.seed
+        )
+    else:
+        workload = fixed_batch_trace(
+            args.batch_size, args.input_tokens, args.output_tokens
+        )
+
+    tracer = EventTracer() if args.trace_output else None
+    try:
+        result = runner.run_profiled(
+            dep,
+            workload,
+            max_concurrency=args.batch_size,
+            optimistic=args.optimistic,
+            tracer=tracer,
+        )
+    except OutOfMemoryError as exc:
+        print(f"OOM: {exc}")
+        return 1
+
+    profile = result.profile
+    assert profile is not None  # run_profiled always enables the profiler
+    print(
+        f"{dep.model.name} / {dep.hardware.name} x{dep.num_devices} / "
+        f"{dep.framework.name} — {len(workload)} requests"
+    )
+    print()
+    print(profile.render(max_requests=args.requests_shown))
+    _write_json(args.output, profile.to_json_dict())
+    if args.trace_output and tracer is not None:
+        path = write_chrome_trace(
+            args.trace_output,
+            tracer.events,
+            metadata={
+                "model": dep.model.name,
+                "hardware": dep.hardware.name,
+                "devices": dep.num_devices,
+                "framework": dep.framework.name,
+                "requests": len(workload),
+                "makespan_s": result.total_time_s,
+            },
+        )
+        print(f"wrote {path} ({len(tracer.events)} events) — counter tracks "
+              "under the 'profile' lane in https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import (
         ClusterCapacityPlanner,
@@ -454,6 +651,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         disaggregation=disagg,
         control=control,
         traced=args.trace_output is not None,
+        profiled=args.profile_output is not None,
     )
     try:
         result = simulator.run(workload)
@@ -473,6 +671,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             _json.dump(result.to_json_dict(), fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.result_output}")
+    if args.metrics_output:
+        _write_json(args.metrics_output, result.metrics.to_json_dict())
+    if args.profile_output:
+        assert result.profile is not None  # profiled=True above
+        print()
+        print(result.profile.render())
+        _write_json(args.profile_output, result.profile.to_json_dict())
     if args.trace_output:
         import json as _json
 
@@ -547,6 +752,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
     if args.command == "bench":

@@ -36,6 +36,7 @@ control events, so such runs stay bit-identical to the plain simulator.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import math
@@ -48,6 +49,7 @@ from repro.control.autoscale import FleetView, NullAutoscaler
 from repro.control.plane import ControlPlane
 from repro.core.request import GenerationRequest, RequestState
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, percentile
+from repro.obs.profiler import ProfileReport, merge_profiles
 from repro.obs.tracer import EventTracer, TraceEvent
 from repro.perf.kernel import get_kernel
 from repro.perf.phases import Deployment
@@ -175,6 +177,7 @@ class ClusterResult:
     lost_handoffs: int = 0
     fault_log: list[dict] = field(default_factory=list)
     scale_log: list[dict] = field(default_factory=list)
+    profile: ProfileReport | None = None  # fleet cost attribution (profiled)
 
     def load_report(
         self,
@@ -294,6 +297,7 @@ class ClusterSimulator:
         disaggregation: DisaggregationSpec | None = None,
         prefix_cache_slots: int = 2,
         traced: bool = False,
+        profiled: bool = False,
         kernel=None,
         control: ControlPlane | None = None,
         fleet: Sequence[Deployment] | None = None,
@@ -317,6 +321,7 @@ class ClusterSimulator:
         self.prefix_cache_slots = prefix_cache_slots
         self.disaggregation = disaggregation
         self.traced = traced
+        self.profiled = profiled
         if fleet is not None:
             fleet = tuple(fleet)
             if len(fleet) != num_replicas:
@@ -391,6 +396,7 @@ class ClusterSimulator:
             max_concurrency=self.max_concurrency,
             optimistic=self.optimistic,
             kernel=kernel,
+            profile=self.profiled,
             **({"tracer": tracer} if tracer is not None else {}),
         )
         return Replica(
@@ -919,9 +925,17 @@ class ClusterSimulator:
         energy_j = 0.0
         reports: list[ReplicaReport] = []
         events: dict[str, list[TraceEvent]] = {}
+        profiles: list[ProfileReport] = []
         for replica in replicas:
             run = replica.run
             result = run.result()
+            if result.profile is not None:
+                # Label the replica's profile with its fleet name (frozen
+                # report: rebuild rather than mutate).
+                result.profile = dataclasses.replace(
+                    result.profile, name=replica.name
+                )
+                profiles.append(result.profile)
             busy = max(0.0, run.now - run.idle_s)
             energy_j += run.energy_j
             idle_w = replica.engine._power.group_power_w(0.0)
@@ -989,4 +1003,7 @@ class ClusterSimulator:
             lost_handoffs=self._lost_handoffs,
             fault_log=list(self._fault_log),
             scale_log=list(self._scale_log),
+            profile=(
+                merge_profiles(profiles, name="cluster") if profiles else None
+            ),
         )

@@ -16,6 +16,8 @@ __all__ = [
     "throughput_tokens_per_s",
     "output_throughput_tokens_per_s",
     "perf_per_watt",
+    "COMPONENT_FIELDS",
+    "CostComponents",
     "LatencyBreakdown",
     "InferenceMetrics",
 ]
@@ -139,6 +141,110 @@ class LatencyBreakdown:
             overhead_s=self.overhead_s + other.overhead_s,
             total_s=self.total_s + other.total_s,
         )
+
+
+#: Field order of a :class:`CostComponents` partition.  Fixed so every
+#: summation over components (``total_s``, the remainder trick in
+#: ``from_breakdown``, renderers, JSON export) associates identically.
+COMPONENT_FIELDS = (
+    "compute_s",
+    "weight_s",
+    "kv_s",
+    "activation_s",
+    "communication_s",
+    "overhead_s",
+)
+
+
+@dataclass(frozen=True)
+class CostComponents:
+    """Exact partition of one step's committed cost into roofline terms.
+
+    Unlike :class:`LatencyBreakdown` — whose buckets are the *raw* leg
+    times and whose total reflects compute/memory overlap, MoE grouped-GEMM
+    efficiency, pipeline serialization and the saturation penalty — a
+    ``CostComponents`` is an attribution: the six terms sum to the step's
+    committed cost (to floating-point associativity, far inside the 1e-12
+    bar the tests enforce).  The partition is proportional: each raw
+    serial leg is scaled by ``total / (sum of raw legs)``, so component
+    *ordering* (and therefore the dominant bottleneck) matches the raw
+    breakdown exactly, while the overlap slack and multiplicative
+    penalties are spread pro-rata instead of being attributed to any one
+    mechanism.  The last term is computed as a remainder to force the
+    exact sum; it can undershoot its scaled value by an ulp.
+    """
+
+    compute_s: float = 0.0
+    weight_s: float = 0.0
+    kv_s: float = 0.0
+    activation_s: float = 0.0
+    communication_s: float = 0.0
+    overhead_s: float = 0.0
+
+    @classmethod
+    def from_breakdown(cls, bd: LatencyBreakdown) -> "CostComponents":
+        """Partition ``bd.total_s`` across its raw legs pro-rata."""
+        legs = (
+            bd.compute_s,
+            bd.weight_memory_s,
+            bd.kv_memory_s,
+            bd.activation_memory_s,
+            bd.communication_s,
+            bd.overhead_s,
+        )
+        total = bd.total_s
+        raw = 0.0
+        for leg in legs:
+            raw += leg
+        if total <= 0.0:
+            return cls()
+        if raw <= 0.0:
+            return cls(overhead_s=total)
+        scale = total / raw
+        parts = [leg * scale for leg in legs[:-1]]
+        partial = 0.0
+        for part in parts:
+            partial += part
+        parts.append(total - partial)  # overhead absorbs the rounding slack
+        return cls(*parts)
+
+    @property
+    def total_s(self) -> float:
+        """Sum of the six terms in :data:`COMPONENT_FIELDS` order."""
+        total = 0.0
+        for name in COMPONENT_FIELDS:
+            total += getattr(self, name)
+        return total
+
+    @property
+    def memory_s(self) -> float:
+        """All bandwidth-attributed time (weights + KV + activations)."""
+        return self.weight_s + self.kv_s + self.activation_s
+
+    def scaled(self, factor: float) -> "CostComponents":
+        if factor < 0.0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return CostComponents(
+            *(getattr(self, name) * factor for name in COMPONENT_FIELDS)
+        )
+
+    def __add__(self, other: "CostComponents") -> "CostComponents":
+        return CostComponents(
+            *(
+                getattr(self, name) + getattr(other, name)
+                for name in COMPONENT_FIELDS
+            )
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Each term's share of the total (all zeros on an empty partition)."""
+        total = self.total_s
+        if total <= 0.0:
+            return dict.fromkeys(COMPONENT_FIELDS, 0.0)
+        return {name: getattr(self, name) / total for name in COMPONENT_FIELDS}
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in COMPONENT_FIELDS}
 
 
 @dataclass

@@ -4,6 +4,7 @@ from repro.dashboard.html import (
     cluster_section_html,
     dashboard_html,
     metrics_section_html,
+    profile_section_html,
     write_dashboard,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "cluster_section_html",
     "dashboard_html",
     "metrics_section_html",
+    "profile_section_html",
     "write_dashboard",
 ]

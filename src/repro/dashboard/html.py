@@ -18,12 +18,14 @@ from repro.obs.metrics import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.simulator import ClusterResult
+    from repro.obs.profiler import ProfileReport
 
 __all__ = [
     "dashboard_html",
     "write_dashboard",
     "metrics_section_html",
     "cluster_section_html",
+    "profile_section_html",
 ]
 
 _PAGE = """<!DOCTYPE html>
@@ -263,17 +265,96 @@ def cluster_section_html(
     return "\n".join(parts)
 
 
+def profile_section_html(
+    profile: "ProfileReport", title: str = "Cost attribution profile"
+) -> str:
+    """Static HTML fragment for one :class:`ProfileReport`.
+
+    Headline utilization counters (MFU, MBU, tokens/s, power, energy per
+    token), then a per-phase roofline-share table whose bars stack the
+    six cost components, then the most expensive per-request
+    attributions.  Embeddable below the experiment browser via
+    ``dashboard_html``'s ``profile`` argument.
+    """
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    parts.append(
+        "<p class='note'>"
+        f"{html.escape(profile.name)} &mdash; {html.escape(profile.model)} on "
+        f"{profile.num_devices}x {html.escape(profile.hardware)} / "
+        f"{html.escape(profile.framework)}: wall {profile.total_time_s:.4g}&nbsp;s "
+        f"(busy {profile.busy_s:.4g}, idle {profile.idle_s:.4g}), "
+        f"{profile.tokens} tokens</p>"
+    )
+    parts.append(
+        "<table class='data'><tr><th>MFU</th><th>MBU</th>"
+        "<th>tokens/s</th><th>avg power (W)</th><th>J/token</th>"
+        "<th>dominant</th></tr>"
+        f"<tr><td>{profile.mfu:.1%}</td><td>{profile.mbu:.1%}</td>"
+        f"<td>{profile.tokens_per_s:.4g}</td>"
+        f"<td>{profile.average_power_w:.4g}</td>"
+        f"<td>{profile.joules_per_token:.4g}</td>"
+        f"<td>{profile.dominant_bottleneck or '-'}</td></tr></table>"
+    )
+    if profile.phases:
+        parts.append(
+            "<table class='data'><tr><th>phase</th><th>time s</th>"
+            "<th>events</th><th>tokens</th><th>compute</th><th>weights</th>"
+            "<th>kv</th><th>act</th><th>comm</th><th>overhead</th>"
+            "<th>dominant</th><th></th></tr>"
+        )
+        for phase in profile.phases:
+            shares = phase.components.fractions()
+            cells = "".join(
+                f"<td>{shares[field]:.1%}</td>"
+                for field in ("compute_s", "weight_s", "kv_s",
+                              "activation_s", "communication_s", "overhead_s")
+            )
+            width = round(200 * min(1.0, max(0.0, shares["compute_s"])))
+            parts.append(
+                f"<tr><td>{html.escape(phase.phase)}</td>"
+                f"<td>{phase.time_s:.4g}</td><td>{phase.events}</td>"
+                f"<td>{phase.tokens}</td>{cells}"
+                f"<td>{phase.dominant or '-'}</td>"
+                f"<td><span class='bar' style='width:{width}px'></span>"
+                "</td></tr>"
+            )
+        parts.append("</table>")
+    if profile.requests:
+        shown = sorted(
+            profile.requests, key=lambda r: (-r.time_s, r.index)
+        )[:8]
+        peak = max(req.time_s for req in shown)
+        parts.append("<h3>Most expensive requests</h3>")
+        parts.append(
+            "<table class='data'><tr><th>request</th><th>in</th><th>out</th>"
+            "<th>time s</th><th>energy J</th><th>dominant</th><th></th></tr>"
+        )
+        for req in shown:
+            width = round(200 * req.time_s / peak) if peak > 0 else 0
+            parts.append(
+                f"<tr><td>{req.index}</td><td>{req.input_tokens}</td>"
+                f"<td>{req.output_tokens}</td><td>{req.time_s:.4g}</td>"
+                f"<td>{req.energy_j:.4g}</td><td>{req.dominant or '-'}</td>"
+                f"<td><span class='bar' style='width:{width}px'></span>"
+                "</td></tr>"
+            )
+        parts.append("</table>")
+    return "\n".join(parts)
+
+
 def dashboard_html(
     results: list[ExperimentResult],
     metrics: MetricsSnapshot | None = None,
     cluster: "ClusterResult | None" = None,
+    profile: "ProfileReport | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
     ``metrics`` (optional) embeds a traced engine run's percentile and
     histogram panels below the experiment browser; ``cluster`` (optional)
     appends a cluster-simulation section (replica utilization, fleet
-    gauges) the same way.
+    gauges) the same way; ``profile`` (optional) appends a cost-
+    attribution section (roofline shares, MFU/MBU/energy counters).
     """
     if not results:
         raise ValueError("no results to render")
@@ -298,6 +379,10 @@ def dashboard_html(
         metrics_html += ("\n" if metrics_html else "") + cluster_section_html(
             cluster
         )
+    if profile is not None:
+        metrics_html += ("\n" if metrics_html else "") + profile_section_html(
+            profile
+        )
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -306,11 +391,14 @@ def write_dashboard(
     path: str | Path,
     metrics: MetricsSnapshot | None = None,
     cluster: "ClusterResult | None" = None,
+    profile: "ProfileReport | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
     out.write_text(
-        dashboard_html(results, metrics=metrics, cluster=cluster),
+        dashboard_html(
+            results, metrics=metrics, cluster=cluster, profile=profile
+        ),
         encoding="utf-8",
     )
     return out

@@ -11,6 +11,7 @@ is off.
 """
 
 from repro.obs.export import (
+    counter_series,
     to_chrome_trace,
     to_chrome_trace_multi,
     trace_summary,
@@ -25,6 +26,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     percentile,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfile,
+    ProfileReport,
+    RequestProfile,
+    StepProfiler,
+    merge_profiles,
 )
 from repro.obs.timeline import RequestTimeline, build_timelines, timeline_table
 from repro.obs.tracer import (
@@ -49,9 +59,17 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "percentile",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PhaseProfile",
+    "ProfileReport",
+    "RequestProfile",
+    "StepProfiler",
+    "merge_profiles",
     "RequestTimeline",
     "build_timelines",
     "timeline_table",
+    "counter_series",
     "to_chrome_trace",
     "to_chrome_trace_multi",
     "trace_summary",

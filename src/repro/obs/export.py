@@ -20,6 +20,7 @@ from repro.obs.metrics import MetricsSnapshot
 from repro.obs.tracer import CATEGORIES, PHASE_COMPLETE, TraceEvent
 
 __all__ = [
+    "counter_series",
     "to_chrome_trace",
     "to_chrome_trace_multi",
     "write_chrome_trace",
@@ -125,6 +126,30 @@ def write_chrome_trace(
         json.dumps(to_chrome_trace(events, metadata), indent=1), encoding="utf-8"
     )
     return out
+
+
+def counter_series(
+    events: list[TraceEvent], name: str, category: str | None = None
+) -> list[tuple[float, float]]:
+    """``(ts_s, value)`` samples of one counter track, in time order.
+
+    Counter events carry their samples in ``args``; a track with a single
+    series named ``value`` (the profiler's convention) yields that series,
+    while multi-series counters yield the sum — matching how Perfetto
+    stacks a counter track's series.
+    """
+    series: list[tuple[float, float]] = []
+    for event in events:
+        if event.phase != "C" or event.name != name:
+            continue
+        if category is not None and event.category != category:
+            continue
+        series.append(
+            (event.ts_s, float(sum(v for v in event.args.values()
+                                   if isinstance(v, (int, float)))))
+        )
+    series.sort(key=lambda sample: sample[0])
+    return series
 
 
 def trace_summary(

@@ -15,6 +15,7 @@ with post-hoc numpy analysis to the float (tested).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -203,6 +204,46 @@ class MetricsSnapshot:
             for name in sorted(self.counters):
                 lines.append(f"{name:<24}{self.counters[name]:>10.4g}")
         return "\n".join(lines)
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Deterministic JSON-serializable view (non-finite -> null).
+
+        Empty gauges and histograms carry NaN statistics; ``json.dump``
+        would emit bare ``NaN`` tokens most parsers reject, so every
+        scalar is sanitized through ``null`` instead.
+        """
+        return {
+            "counters": {
+                name: _json_num(value) for name, value in self.counters.items()
+            },
+            "gauges": {
+                name: {
+                    "last": _json_num(g.last),
+                    "min": _json_num(g.minimum),
+                    "max": _json_num(g.maximum),
+                    "time_weighted_mean": _json_num(g.time_weighted_mean),
+                    "num_samples": g.num_samples,
+                }
+                for name, g in self.gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": _json_num(h.mean),
+                    "p50": _json_num(h.p50),
+                    "p90": _json_num(h.p90),
+                    "p99": _json_num(h.p99),
+                    "buckets": list(h.buckets),
+                    "bucket_counts": list(h.bucket_counts),
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+
+def _json_num(value: float) -> float | None:
+    """JSON-safe scalar: ``None`` for NaN/inf (empty gauges/histograms)."""
+    return value if math.isfinite(value) else None
 
 
 class MetricsRegistry:

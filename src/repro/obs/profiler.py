@@ -1,0 +1,698 @@
+"""Runtime cost-attribution profiler: per-step roofline accounting.
+
+The static :func:`repro.analysis.bottleneck.analyze` report explains a
+steady-state deployment; this module explains a *run*.  A
+:class:`StepProfiler` rides inside :class:`~repro.runtime.engine.EngineRun`
+(and, per replica, inside the cluster simulator), attributing every
+committed step — each prefill chunk, each coalesced decode span, each idle
+gap — to the roofline components the step model priced, plus the FLOPs and
+DRAM bytes the step moved (from the kernel's traffic accessors) and the
+energy it drew.  At the end of the run the accumulated state snapshots
+into an immutable :class:`ProfileReport`: per-phase and per-request
+attribution tables, MFU/MBU against datasheet peaks, tokens/s,
+joules-per-token, and a dominant-bottleneck classification reusing
+:class:`repro.analysis.bottleneck.Bottleneck`.
+
+Two invariants keep the attribution honest (both enforced by
+``tests/test_profiler.py``):
+
+* **exact sums** — every recorded step's component times sum to the
+  kernel's committed step cost to <= 1e-12 relative (the
+  :class:`~repro.core.metrics.CostComponents` remainder construction);
+* **zero overhead** — the engine default is the no-op
+  :data:`NULL_PROFILER` (mirroring ``NULL_TRACER``), and with profiling
+  disabled engine and cluster results are bit-identical to an unprofiled
+  build.
+
+MFU and MBU are *model* utilizations: modeled FLOPs (and modeled stream
+bytes, including the framework's KV read multiplier) divided by datasheet
+peak rate x elapsed time x device count.  Capacities
+(``flop_capacity``/``byte_capacity``) are stored explicitly so fleet
+merges stay well-defined: fleet MFU is sum(flops) / sum(capacity), not a
+mean of ratios.
+
+When a recording tracer is attached, every recorded step also emits
+Perfetto counter samples (category ``"profile"``): ``mfu``, ``mbu``,
+``tokens_per_s``, ``watts`` and ``joules_per_token`` — instantaneous
+rates over the step, viewable alongside the engine's span tracks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.bottleneck import Bottleneck, PhaseAttribution
+from repro.core.metrics import CostComponents, LatencyBreakdown
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.perf.kernel import get_kernel
+from repro.perf.phases import Deployment
+
+__all__ = [
+    "PhaseProfile",
+    "RequestProfile",
+    "ProfileReport",
+    "StepProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "merge_profiles",
+]
+
+#: Fixed phase emission order (report determinism).
+_PHASE_ORDER = ("prefill", "decode")
+
+
+def _finite(value: float) -> float | None:
+    """JSON-safe scalar: ``None`` for NaN/inf (json.dump would emit bare
+    ``NaN`` tokens that most parsers reject)."""
+    return value if math.isfinite(value) else None
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with 0.0 on an empty denominator."""
+    return numerator / denominator if denominator > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Accumulated attribution for one phase ("prefill" or "decode")."""
+
+    phase: str
+    time_s: float
+    events: int  # recorded steps (chunks for prefill, spans for decode)
+    steps: int  # engine iterations inside those events
+    tokens: int  # tokens processed (batch x chunk/step tokens)
+    flops: float
+    bytes_moved: float
+    energy_j: float
+    components: CostComponents
+
+    @property
+    def attribution(self) -> PhaseAttribution | None:
+        """Mechanism shares, or ``None`` for an empty phase."""
+        if self.components.total_s <= 0.0:
+            return None
+        return PhaseAttribution.from_components(self.phase, self.components)
+
+    @property
+    def dominant(self) -> Bottleneck | None:
+        attribution = self.attribution
+        return attribution.dominant if attribution is not None else None
+
+    def to_json_dict(self) -> dict[str, object]:
+        dominant = self.dominant
+        return {
+            "phase": self.phase,
+            "time_s": _finite(self.time_s),
+            "events": self.events,
+            "steps": self.steps,
+            "tokens": self.tokens,
+            "flops": _finite(self.flops),
+            "bytes_moved": _finite(self.bytes_moved),
+            "energy_j": _finite(self.energy_j),
+            "components_s": {
+                name: _finite(value)
+                for name, value in self.components.as_dict().items()
+            },
+            "fractions": {
+                name: _finite(value)
+                for name, value in self.components.fractions().items()
+            },
+            "dominant": str(dominant) if dominant is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One request's share of the run's cost.
+
+    Steps are shared equally among their participants: a decode span over
+    a batch of 8 charges each sequence one eighth of the span's
+    components and energy.  Prefill chunks are charged to the admitted
+    prompts only — decoding streams that ride along a fused chunk (the
+    SplitFuse effect) ride free, exactly as the engine prices them.
+    ``index`` is the request's position in the run's submission order, so
+    profiles are deterministic (request ids are process-global).
+    """
+
+    index: int
+    input_tokens: int
+    output_tokens: int
+    time_s: float
+    energy_j: float
+    components: CostComponents
+
+    @property
+    def dominant(self) -> Bottleneck | None:
+        if self.components.total_s <= 0.0:
+            return None
+        return PhaseAttribution.from_components(
+            f"request{self.index}", self.components
+        ).dominant
+
+    def to_json_dict(self) -> dict[str, object]:
+        dominant = self.dominant
+        return {
+            "index": self.index,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+            "time_s": _finite(self.time_s),
+            "energy_j": _finite(self.energy_j),
+            "components_s": {
+                name: _finite(value)
+                for name, value in self.components.as_dict().items()
+            },
+            "dominant": str(dominant) if dominant is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Immutable cost profile of one run (or a merged fleet of runs).
+
+    ``flop_capacity`` / ``byte_capacity`` are ``peak rate x wall time``
+    (device count already folded into the peak rates), stored explicitly
+    so merged fleet reports keep utilization well-defined under
+    heterogeneous replicas and staggered makespans.
+    """
+
+    name: str
+    model: str
+    hardware: str
+    framework: str
+    num_devices: int
+    total_time_s: float
+    busy_s: float
+    idle_s: float
+    energy_j: float
+    idle_energy_j: float
+    peak_flops_per_s: float
+    peak_bandwidth_bytes_s: float
+    flop_capacity: float
+    byte_capacity: float
+    phases: tuple[PhaseProfile, ...]
+    requests: tuple[RequestProfile, ...]
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def bytes_moved(self) -> float:
+        return sum(p.bytes_moved for p in self.phases)
+
+    @property
+    def tokens(self) -> int:
+        return sum(p.tokens for p in self.phases)
+
+    @property
+    def components(self) -> CostComponents:
+        total = CostComponents()
+        for phase in self.phases:
+            total = total + phase.components
+        return total
+
+    # -- derived utilization / efficiency (all NaN-safe: 0.0 on empty) --
+
+    @property
+    def mfu(self) -> float:
+        """Model FLOPs utilization over the whole wall clock."""
+        return _ratio(self.flops, self.flop_capacity)
+
+    @property
+    def mbu(self) -> float:
+        """Model bandwidth utilization (modeled stream bytes / peak)."""
+        return _ratio(self.bytes_moved, self.byte_capacity)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return _ratio(float(self.tokens), self.total_time_s)
+
+    @property
+    def joules_per_token(self) -> float:
+        return _ratio(self.energy_j, float(self.tokens))
+
+    @property
+    def average_power_w(self) -> float:
+        return _ratio(self.energy_j, self.total_time_s)
+
+    @property
+    def dominant_bottleneck(self) -> Bottleneck | None:
+        """Dominant mechanism across all profiled work (``None`` if none)."""
+        combined = self.components
+        if combined.total_s <= 0.0:
+            return None
+        return PhaseAttribution.from_components(self.name, combined).dominant
+
+    # -- presentation --------------------------------------------------
+
+    def render(self, max_requests: int = 0) -> str:
+        """Human-readable profile table (the ``profile`` CLI output).
+
+        ``max_requests > 0`` appends the N most time-expensive per-request
+        attributions (ties broken by request index for determinism).
+        """
+        lines = [
+            f"cost profile: {self.name} — {self.model} on "
+            f"{self.num_devices}x {self.hardware} / {self.framework}",
+            f"wall {self.total_time_s:.4g} s (busy {self.busy_s:.4g}, "
+            f"idle {self.idle_s:.4g}) | {self.tokens} tokens | "
+            f"{self.tokens_per_s:.4g} tok/s",
+            f"MFU {self.mfu:.1%} | MBU {self.mbu:.1%} | "
+            f"avg power {self.average_power_w:.4g} W | "
+            f"{self.joules_per_token:.4g} J/token",
+        ]
+        if self.phases:
+            lines.append("")
+            lines.append(
+                f"{'phase':<9}{'time s':>10}{'events':>8}{'tokens':>9}"
+                f"{'compute':>9}{'weights':>9}{'kv':>7}{'act':>7}"
+                f"{'comm':>7}{'ovh':>7}  dominant"
+            )
+            for phase in self.phases:
+                shares = phase.components.fractions()
+                dominant = phase.dominant
+                lines.append(
+                    f"{phase.phase:<9}{phase.time_s:>10.4g}{phase.events:>8d}"
+                    f"{phase.tokens:>9d}"
+                    f"{shares['compute_s']:>9.1%}{shares['weight_s']:>9.1%}"
+                    f"{shares['kv_s']:>7.1%}{shares['activation_s']:>7.1%}"
+                    f"{shares['communication_s']:>7.1%}"
+                    f"{shares['overhead_s']:>7.1%}"
+                    f"  {dominant if dominant is not None else '-'}"
+                )
+        dominant = self.dominant_bottleneck
+        lines.append("")
+        lines.append(
+            "dominant bottleneck: "
+            f"{dominant if dominant is not None else '- (no profiled work)'}"
+        )
+        lines.append(f"requests profiled: {len(self.requests)}")
+        if max_requests > 0 and self.requests:
+            shown = sorted(
+                self.requests, key=lambda r: (-r.time_s, r.index)
+            )[:max_requests]
+            lines.append("")
+            lines.append(
+                f"{'req':>5}{'in':>8}{'out':>8}{'time s':>10}"
+                f"{'energy J':>11}  dominant"
+            )
+            for req in shown:
+                req_dominant = req.dominant
+                lines.append(
+                    f"{req.index:>5d}{req.input_tokens:>8d}"
+                    f"{req.output_tokens:>8d}{req.time_s:>10.4g}"
+                    f"{req.energy_j:>11.4g}"
+                    f"  {req_dominant if req_dominant is not None else '-'}"
+                )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Deterministic, JSON-serializable view (non-finite -> null)."""
+        dominant = self.dominant_bottleneck
+        return {
+            "name": self.name,
+            "model": self.model,
+            "hardware": self.hardware,
+            "framework": self.framework,
+            "num_devices": self.num_devices,
+            "total_time_s": _finite(self.total_time_s),
+            "busy_s": _finite(self.busy_s),
+            "idle_s": _finite(self.idle_s),
+            "energy_j": _finite(self.energy_j),
+            "idle_energy_j": _finite(self.idle_energy_j),
+            "peak_flops_per_s": _finite(self.peak_flops_per_s),
+            "peak_bandwidth_bytes_s": _finite(self.peak_bandwidth_bytes_s),
+            "flop_capacity": _finite(self.flop_capacity),
+            "byte_capacity": _finite(self.byte_capacity),
+            "flops": _finite(self.flops),
+            "bytes_moved": _finite(self.bytes_moved),
+            "tokens": self.tokens,
+            "mfu": _finite(self.mfu),
+            "mbu": _finite(self.mbu),
+            "tokens_per_s": _finite(self.tokens_per_s),
+            "joules_per_token": _finite(self.joules_per_token),
+            "average_power_w": _finite(self.average_power_w),
+            "dominant": str(dominant) if dominant is not None else None,
+            "phases": [phase.to_json_dict() for phase in self.phases],
+            "requests": [req.to_json_dict() for req in self.requests],
+        }
+
+
+class _PhaseAcc:
+    """Mutable accumulator behind one :class:`PhaseProfile`."""
+
+    __slots__ = (
+        "time_s", "events", "steps", "tokens", "flops", "bytes_moved",
+        "energy_j", "components",
+    )
+
+    def __init__(self) -> None:
+        self.time_s = 0.0
+        self.events = 0
+        self.steps = 0
+        self.tokens = 0
+        self.flops = 0.0
+        self.bytes_moved = 0.0
+        self.energy_j = 0.0
+        self.components = CostComponents()
+
+
+class _RequestAcc:
+    """Mutable accumulator behind one :class:`RequestProfile`."""
+
+    __slots__ = ("time_s", "energy_j", "components")
+
+    def __init__(self) -> None:
+        self.time_s = 0.0
+        self.energy_j = 0.0
+        self.components = CostComponents()
+
+
+class NullProfiler:
+    """No-op profiler: the engine default (mirrors ``NULL_TRACER``).
+
+    Every method returns immediately; ``enabled`` lets the engine skip
+    argument construction entirely, keeping the unprofiled hot path
+    bit-identical to a build without the profiler."""
+
+    enabled: bool = False
+
+    def record_prefill(self, ts_s, breakdown, batch_size, chunk_tokens,
+                       energy_j, requests) -> None:  # noqa: ANN001
+        """Ignore one prefill chunk."""
+
+    def record_decode(self, ts_s, step_breakdown, batch_size, span_ctx,
+                      steps, energy_j, requests) -> None:  # noqa: ANN001
+        """Ignore one decode span."""
+
+    def record_idle(self, ts_s, span_s, energy_j) -> None:  # noqa: ANN001
+        """Ignore an idle gap."""
+
+    def report(self, total_time_s, requests, name="engine"):  # noqa: ANN001
+        """The null profiler has nothing to report."""
+        return None
+
+
+#: Shared disabled profiler — stateless, one instance serves every engine.
+NULL_PROFILER = NullProfiler()
+
+
+class StepProfiler(NullProfiler):
+    """Recording profiler: accumulates per-step roofline attribution.
+
+    The engine calls ``record_*`` with the *committed* breakdown (after
+    any fault-injected ``cost_scale``), the step's integrated energy and
+    the participating requests; the profiler derives the component
+    partition, fetches the step's modeled FLOPs/bytes from the kernel's
+    traffic accessors (O(1), memoized) and charges each participant its
+    equal share.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        kernel=None,  # noqa: ANN001 - StepCostKernel | DirectStepCost
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.deployment = deployment
+        self.kernel = kernel if kernel is not None else get_kernel(deployment)
+        self.tracer = tracer
+        spec = deployment.hardware
+        self.peak_flops_per_s = (
+            deployment.quant.compute_rate_flops(spec) * deployment.num_devices
+        )
+        self.peak_bandwidth_bytes_s = (
+            spec.memory_bandwidth_bytes_s * deployment.num_devices
+        )
+        self._phases: dict[str, _PhaseAcc] = {}
+        self._requests: dict[int, _RequestAcc] = {}  # keyed by id(request)
+        self.idle_s = 0.0
+        self.idle_energy_j = 0.0
+
+    # ------------------------------------------------------------------
+
+    def record_prefill(
+        self,
+        ts_s: float,
+        breakdown: LatencyBreakdown,
+        batch_size: int,
+        chunk_tokens: int,
+        energy_j: float,
+        requests,  # noqa: ANN001 - list[GenerationRequest]
+    ) -> None:
+        """Attribute one prefill chunk (committed cost ``breakdown``)."""
+        components = CostComponents.from_breakdown(breakdown)
+        flops, bytes_moved = self.kernel.prefill_traffic(batch_size, chunk_tokens)
+        self._record(
+            "prefill", ts_s, breakdown.total_s, components,
+            batch_size * chunk_tokens, flops, bytes_moved, energy_j,
+            requests, steps=1,
+        )
+
+    def record_decode(
+        self,
+        ts_s: float,
+        step_breakdown: LatencyBreakdown,
+        batch_size: int,
+        span_ctx: int,
+        steps: int,
+        energy_j: float,
+        requests,  # noqa: ANN001 - list[GenerationRequest]
+    ) -> None:
+        """Attribute one coalesced decode span (``steps`` iterations)."""
+        components = CostComponents.from_breakdown(step_breakdown).scaled(
+            float(steps)
+        )
+        flops, bytes_moved = self.kernel.decode_step_traffic(batch_size, span_ctx)
+        self._record(
+            "decode", ts_s, step_breakdown.total_s * steps, components,
+            batch_size * steps, flops * steps, bytes_moved * steps, energy_j,
+            requests, steps=steps,
+        )
+
+    def record_idle(self, ts_s: float, span_s: float, energy_j: float) -> None:
+        """Account an idle fast-forward (no components, idle power only)."""
+        self.idle_s += span_s
+        self.idle_energy_j += energy_j
+        if self.tracer.enabled and span_s > 0.0:
+            self.tracer.counter("profile", "mfu", ts_s=ts_s, value=0.0)
+            self.tracer.counter("profile", "mbu", ts_s=ts_s, value=0.0)
+            self.tracer.counter("profile", "tokens_per_s", ts_s=ts_s, value=0.0)
+            self.tracer.counter(
+                "profile", "watts", ts_s=ts_s, value=energy_j / span_s
+            )
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        phase: str,
+        ts_s: float,
+        total_s: float,
+        components: CostComponents,
+        tokens: int,
+        flops: float,
+        bytes_moved: float,
+        energy_j: float,
+        requests,  # noqa: ANN001
+        steps: int,
+    ) -> None:
+        acc = self._phases.get(phase)
+        if acc is None:
+            acc = self._phases[phase] = _PhaseAcc()
+        acc.time_s += total_s
+        acc.events += 1
+        acc.steps += steps
+        acc.tokens += tokens
+        acc.flops += flops
+        acc.bytes_moved += bytes_moved
+        acc.energy_j += energy_j
+        acc.components = acc.components + components
+
+        if requests:
+            share = 1.0 / len(requests)
+            shared = components.scaled(share)
+            for request in requests:
+                req = self._requests.get(id(request))
+                if req is None:
+                    req = self._requests[id(request)] = _RequestAcc()
+                req.time_s += total_s * share
+                req.energy_j += energy_j * share
+                req.components = req.components + shared
+
+        if self.tracer.enabled and total_s > 0.0:
+            self.tracer.counter(
+                "profile", "mfu", ts_s=ts_s,
+                value=flops / (total_s * self.peak_flops_per_s),
+            )
+            self.tracer.counter(
+                "profile", "mbu", ts_s=ts_s,
+                value=bytes_moved / (total_s * self.peak_bandwidth_bytes_s),
+            )
+            self.tracer.counter(
+                "profile", "tokens_per_s", ts_s=ts_s, value=tokens / total_s
+            )
+            self.tracer.counter(
+                "profile", "watts", ts_s=ts_s, value=energy_j / total_s
+            )
+            if tokens > 0:
+                self.tracer.counter(
+                    "profile", "joules_per_token", ts_s=ts_s,
+                    value=energy_j / tokens,
+                )
+
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        total_time_s: float,
+        requests,  # noqa: ANN001 - list[GenerationRequest]
+        name: str = "engine",
+    ) -> ProfileReport:
+        """Snapshot the accumulated attribution into a frozen report.
+
+        ``requests`` fixes the per-request table's order and indices (the
+        run's submission order); requests the profiler never saw (e.g. an
+        OOM-rejected trace) appear with zero attribution.
+        """
+        dep = self.deployment
+        phases = []
+        for phase_name in _PHASE_ORDER:
+            acc = self._phases.get(phase_name)
+            if acc is None:
+                continue
+            phases.append(
+                PhaseProfile(
+                    phase=phase_name,
+                    time_s=acc.time_s,
+                    events=acc.events,
+                    steps=acc.steps,
+                    tokens=acc.tokens,
+                    flops=acc.flops,
+                    bytes_moved=acc.bytes_moved,
+                    energy_j=acc.energy_j,
+                    components=acc.components,
+                )
+            )
+        request_profiles = []
+        for index, request in enumerate(requests):
+            acc = self._requests.get(id(request))
+            if acc is None:
+                acc = _RequestAcc()
+            request_profiles.append(
+                RequestProfile(
+                    index=index,
+                    input_tokens=request.input_tokens,
+                    output_tokens=request.output_tokens,
+                    time_s=acc.time_s,
+                    energy_j=acc.energy_j,
+                    components=acc.components,
+                )
+            )
+        busy_s = sum(p.time_s for p in phases)
+        energy_j = sum(p.energy_j for p in phases) + self.idle_energy_j
+        return ProfileReport(
+            name=name,
+            model=dep.model.name,
+            hardware=dep.hardware.name,
+            framework=dep.framework.name,
+            num_devices=dep.num_devices,
+            total_time_s=total_time_s,
+            busy_s=busy_s,
+            idle_s=self.idle_s,
+            energy_j=energy_j,
+            idle_energy_j=self.idle_energy_j,
+            peak_flops_per_s=self.peak_flops_per_s,
+            peak_bandwidth_bytes_s=self.peak_bandwidth_bytes_s,
+            flop_capacity=total_time_s * self.peak_flops_per_s,
+            byte_capacity=total_time_s * self.peak_bandwidth_bytes_s,
+            phases=tuple(phases),
+            requests=tuple(request_profiles),
+        )
+
+
+def merge_profiles(
+    profiles, name: str = "fleet"  # noqa: ANN001 - list[ProfileReport]
+) -> ProfileReport:
+    """Merge replica profiles into one fleet-level report.
+
+    Phase accumulators and energies add; capacities add too (each replica
+    contributed ``peak rate x its own wall time``), which keeps fleet MFU
+    = sum(flops) / sum(capacity) — the utilization of the fleet's total
+    silicon-time, not a mean of per-replica ratios.  Wall time is the
+    fleet makespan (replicas share one clock); requests concatenate in
+    replica order and are re-indexed.
+    """
+    profiles = [p for p in profiles if p is not None]
+    if not profiles:
+        raise ValueError("merge_profiles needs at least one profile")
+
+    def label(values) -> str:  # noqa: ANN001
+        unique = list(dict.fromkeys(values))
+        return unique[0] if len(unique) == 1 else "+".join(unique)
+
+    phase_accs: dict[str, _PhaseAcc] = {}
+    for profile in profiles:
+        for phase in profile.phases:
+            acc = phase_accs.get(phase.phase)
+            if acc is None:
+                acc = phase_accs[phase.phase] = _PhaseAcc()
+            acc.time_s += phase.time_s
+            acc.events += phase.events
+            acc.steps += phase.steps
+            acc.tokens += phase.tokens
+            acc.flops += phase.flops
+            acc.bytes_moved += phase.bytes_moved
+            acc.energy_j += phase.energy_j
+            acc.components = acc.components + phase.components
+    phases = tuple(
+        PhaseProfile(
+            phase=phase_name,
+            time_s=acc.time_s,
+            events=acc.events,
+            steps=acc.steps,
+            tokens=acc.tokens,
+            flops=acc.flops,
+            bytes_moved=acc.bytes_moved,
+            energy_j=acc.energy_j,
+            components=acc.components,
+        )
+        for phase_name in _PHASE_ORDER
+        if (acc := phase_accs.get(phase_name)) is not None
+    )
+    requests = tuple(
+        RequestProfile(
+            index=index,
+            input_tokens=req.input_tokens,
+            output_tokens=req.output_tokens,
+            time_s=req.time_s,
+            energy_j=req.energy_j,
+            components=req.components,
+        )
+        for index, req in enumerate(
+            req for profile in profiles for req in profile.requests
+        )
+    )
+    return ProfileReport(
+        name=name,
+        model=label(p.model for p in profiles),
+        hardware=label(p.hardware for p in profiles),
+        framework=label(p.framework for p in profiles),
+        num_devices=sum(p.num_devices for p in profiles),
+        total_time_s=max(p.total_time_s for p in profiles),
+        busy_s=sum(p.busy_s for p in profiles),
+        idle_s=sum(p.idle_s for p in profiles),
+        energy_j=sum(p.energy_j for p in profiles),
+        idle_energy_j=sum(p.idle_energy_j for p in profiles),
+        peak_flops_per_s=sum(p.peak_flops_per_s for p in profiles),
+        peak_bandwidth_bytes_s=sum(p.peak_bandwidth_bytes_s for p in profiles),
+        flop_capacity=sum(p.flop_capacity for p in profiles),
+        byte_capacity=sum(p.byte_capacity for p in profiles),
+        phases=phases,
+        requests=requests,
+    )

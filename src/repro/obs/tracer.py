@@ -41,6 +41,7 @@ CATEGORIES = (
     "power_sample",
     "engine",
     "control",  # fault injections, retries, autoscale actions
+    "profile",  # cost-attribution counter tracks (mfu, mbu, watts, ...)
 )
 
 # Chrome trace_event phase codes used by this tracer.

@@ -60,8 +60,10 @@ from repro.perf.attention import kv_time_multiplier
 from repro.perf.phases import (
     Deployment,
     decode_step_breakdown,
+    decode_step_traffic,
     forward_flops,
     prefill_breakdown,
+    prefill_traffic,
     step_weight_bytes,
 )
 
@@ -176,6 +178,16 @@ class DirectStepCost:
     ) -> LatencyBreakdown:
         return decode_step_breakdown(self.deployment, batch_size, context_length)
 
+    def prefill_traffic(
+        self, batch_size: int, input_tokens: int
+    ) -> tuple[float, float]:
+        return prefill_traffic(self.deployment, batch_size, input_tokens)
+
+    def decode_step_traffic(
+        self, batch_size: int, context_length: int
+    ) -> tuple[float, float]:
+        return decode_step_traffic(self.deployment, batch_size, context_length)
+
 
 class _LruDict(OrderedDict):
     """Tiny bounded LRU used for every kernel-internal memo table."""
@@ -242,6 +254,8 @@ class StepCostKernel:
         self._coeffs: _LruDict = _LruDict(_COEFFS_CACHE_SIZE)
         self._decode_memo: _LruDict = _LruDict(_STEP_CACHE_SIZE)
         self._prefill_memo: _LruDict = _LruDict(_PREFILL_CACHE_SIZE)
+        self._decode_traffic_memo: _LruDict = _LruDict(_STEP_CACHE_SIZE)
+        self._prefill_traffic_memo: _LruDict = _LruDict(_PREFILL_CACHE_SIZE)
 
     # ------------------------------------------------------------------
     # Scalar fast path
@@ -401,6 +415,50 @@ class StepCostKernel:
             return cached
         return self._prefill_memo.store(
             key, prefill_breakdown(self.deployment, batch_size, input_tokens)
+        )
+
+    def decode_step_traffic(
+        self, batch_size: int, context_length: int
+    ) -> tuple[float, float]:
+        """``(flops, bytes_moved)`` of one decode iteration.
+
+        KV-cache-enabled steps evaluate the affine lowering straight from
+        :class:`DecodeCoeffs` (the traffic terms are exactly the
+        coefficients the breakdown path already prices); the recompute
+        regime falls back to the direct function.  Memoized either way so
+        the profiler's per-step accounting stays O(1).
+        """
+        key = (batch_size, context_length)
+        cached = self._decode_traffic_memo.touch(key)
+        if cached is not None:
+            return cached
+        if not self.deployment.kv_spec.enabled:
+            traffic = decode_step_traffic(
+                self.deployment, batch_size, context_length
+            )
+        else:
+            if batch_size < 1 or context_length < 1:
+                raise ValueError("batch_size and context_length must be >= 1")
+            coeffs = self.decode_coeffs(batch_size)
+            flops = coeffs.flops_base + coeffs.flops_per_ctx * context_length
+            bytes_moved = (
+                coeffs.weight_bytes
+                + coeffs.kv_read_per_ctx * context_length
+                + coeffs.kv_write_bytes
+            ) + coeffs.activation_bytes
+            traffic = (flops, bytes_moved)
+        return self._decode_traffic_memo.store(key, traffic)
+
+    def prefill_traffic(
+        self, batch_size: int, input_tokens: int
+    ) -> tuple[float, float]:
+        """``(flops, bytes_moved)`` of one prefill pass (memoized direct)."""
+        key = (batch_size, input_tokens)
+        cached = self._prefill_traffic_memo.touch(key)
+        if cached is not None:
+            return cached
+        return self._prefill_traffic_memo.store(
+            key, prefill_traffic(self.deployment, batch_size, input_tokens)
         )
 
     # ------------------------------------------------------------------

@@ -48,6 +48,8 @@ __all__ = [
     "forward_flops",
     "prefill_breakdown",
     "decode_step_breakdown",
+    "prefill_traffic",
+    "decode_step_traffic",
 ]
 
 
@@ -369,3 +371,76 @@ def decode_step_breakdown(
         comm_tokens=tokens,
         phase="decode",
     )
+
+
+def prefill_traffic(
+    dep: Deployment, batch_size: int, input_tokens: int
+) -> tuple[float, float]:
+    """``(flops, bytes_moved)`` of one prefill pass.
+
+    The same forward-pass FLOPs and modeled memory traffic that
+    :func:`prefill_breakdown` prices (KV reads scaled by the framework's
+    GQA/paging multiplier count as their *modeled* stream bytes), exposed
+    for utilization accounting: MFU and MBU in the runtime profiler
+    divide these by the hardware's peak rates.
+    """
+    if batch_size < 1 or input_tokens < 1:
+        raise ValueError("batch_size and input_tokens must be >= 1")
+    config = dep.model
+    tokens = batch_size * input_tokens
+    mean_context = (input_tokens + 1) / 2.0
+    flops = forward_flops(config, tokens, mean_context, lm_head_tokens=batch_size)
+    kv_write = (
+        tokens * kv_bytes_per_token(config, dep.kv_spec.precision)
+        if dep.kv_spec.enabled
+        else 0.0
+    )
+    bytes_moved = (
+        step_weight_bytes(dep, tokens)
+        + kv_write
+        + tokens * activation_bytes_per_token(config, dep.quant.activation_precision)
+    )
+    return flops, bytes_moved
+
+
+def decode_step_traffic(
+    dep: Deployment, batch_size: int, context_length: int
+) -> tuple[float, float]:
+    """``(flops, bytes_moved)`` of one decode iteration.
+
+    Mirrors :func:`decode_step_breakdown`'s two regimes: with the KV
+    cache on, the step streams weights, the (multiplier-scaled) cached
+    context, one written token and activations; with it off, the step is
+    a full re-prefill of the context.
+    """
+    if batch_size < 1 or context_length < 1:
+        raise ValueError("batch_size and context_length must be >= 1")
+    config = dep.model
+    if not dep.kv_spec.enabled:
+        tokens = batch_size * context_length
+        mean_context = (context_length + 1) / 2.0
+        flops = forward_flops(
+            config, tokens, mean_context, lm_head_tokens=batch_size
+        )
+        bytes_moved = step_weight_bytes(dep, tokens) + tokens * (
+            activation_bytes_per_token(config, dep.quant.activation_precision)
+        )
+        return flops, bytes_moved
+    tokens = batch_size
+    flops = forward_flops(
+        config, tokens, float(context_length), lm_head_tokens=tokens
+    )
+    kv_tok = kv_bytes_per_token(config, dep.kv_spec.precision)
+    kv_read = (
+        batch_size
+        * context_length
+        * kv_tok
+        * kv_time_multiplier(config, dep.framework, dep.kv_spec)
+    )
+    bytes_moved = (
+        step_weight_bytes(dep, tokens)
+        + kv_read
+        + tokens * kv_tok
+        + tokens * activation_bytes_per_token(config, dep.quant.activation_precision)
+    )
+    return flops, bytes_moved

@@ -33,6 +33,7 @@ from repro.core.metrics import InferenceMetrics, LatencyBreakdown
 from repro.core.request import GenerationRequest, RequestState
 from repro.hardware.power import PowerModel
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.profiler import NULL_PROFILER, ProfileReport, StepProfiler
 from repro.obs.timeline import RequestTimeline, build_timelines
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.estimator import phase_utilization
@@ -63,6 +64,7 @@ class EngineResult:
     scheduler_stats: SchedulerStats
     oom: bool = False
     metrics: MetricsSnapshot | None = None  # registry snapshot (traced runs)
+    profile: ProfileReport | None = None  # cost attribution (profiled runs)
 
     @property
     def total_tokens(self) -> int:
@@ -137,6 +139,7 @@ class ServingEngine:
         optimistic: bool = False,
         tracer: Tracer = NULL_TRACER,
         kernel=None,
+        profile: bool = False,
     ) -> None:
         """``optimistic=True`` enables vLLM's real admission policy:
         reserve only prompt blocks and preempt-and-recompute when the KV
@@ -145,6 +148,13 @@ class ServingEngine:
         ``tracer`` (default the no-op :data:`~repro.obs.tracer.NULL_TRACER`)
         records span/instant events and metric histograms as the run
         executes; results are bit-identical either way.
+
+        ``profile=True`` attaches a
+        :class:`~repro.obs.profiler.StepProfiler` to each run: every
+        committed step is attributed to its roofline components and the
+        result carries a :class:`~repro.obs.profiler.ProfileReport`.
+        Off (the default) the no-op ``NULL_PROFILER`` keeps the hot path
+        untouched and results bit-identical.
 
         ``kernel`` supplies the per-iteration step costs; the default is
         the deployment's shared :class:`~repro.perf.kernel.StepCostKernel`
@@ -160,6 +170,7 @@ class ServingEngine:
         self.max_concurrency = max_concurrency or 1024
         self.coalesce = coalesce
         self.optimistic = optimistic
+        self.profile = profile
         self._power = PowerModel(deployment.hardware, deployment.num_devices)
 
     def _make_scheduler(self) -> Scheduler:
@@ -232,12 +243,18 @@ class ServingEngine:
 
         now = run.now
         traced = self.tracer.enabled
+        profiler = run.profiler
         for chunk in range(chunks):
             breakdown = self.kernel.prefill(batch, chunk_len)
             if run.cost_scale != 1.0:  # fault-injected straggler multiplier
                 breakdown = breakdown.scaled(run.cost_scale)
             power_w = self._phase_power(breakdown)
             run.energy_j += breakdown.total_s * power_w
+            if profiler.enabled:
+                profiler.record_prefill(
+                    now, breakdown, batch, chunk_len,
+                    breakdown.total_s * power_w, admitted,
+                )
             if traced:
                 self.tracer.complete(
                     "prefill",
@@ -289,6 +306,11 @@ class ServingEngine:
         span_bd = step_bd.scaled(float(steps))
         step_power_w = self._phase_power(step_bd)
         run.energy_j += span_bd.total_s * step_power_w
+        if run.profiler.enabled:
+            run.profiler.record_decode(
+                now, step_bd, batch, span_ctx, steps,
+                span_bd.total_s * step_power_w, running,
+            )
         traced = self.tracer.enabled
         if traced:
             self.tracer.complete(
@@ -398,6 +420,13 @@ class EngineRun:
             MetricsRegistry() if self._traced else None
         )
         self._pressure = pressure
+        self.profiler = (
+            StepProfiler(
+                engine.deployment, kernel=engine.kernel, tracer=engine.tracer
+            )
+            if engine.profile
+            else NULL_PROFILER
+        )
         self.now = 0.0
         # Control-plane hook: every committed step cost is multiplied by
         # this factor.  1.0 (the default) is checked by identity before any
@@ -469,6 +498,10 @@ class EngineRun:
                 span = target - self.now
                 self.energy_j += span * engine._power.group_power_w(0.0)
                 self.idle_s += span
+                if self.profiler.enabled:
+                    self.profiler.record_idle(
+                        self.now, span, span * engine._power.group_power_w(0.0)
+                    )
                 if self._traced:
                     self.tracer.complete("engine", "idle", self.now, span)
                 self.now = target
@@ -493,14 +526,20 @@ class EngineRun:
         if self._traced:
             self.tracer.advance(self.now)
             self._sample_gauges()  # close the gauge series
+        resolved = list(requests) if requests is not None else list(self.submitted)
         return EngineResult(
-            requests=list(requests) if requests is not None else list(self.submitted),
+            requests=resolved,
             total_time_s=self.now,
             iterations=self.iterations,
             decode_steps=self.decode_steps,
             average_power_w=(self.energy_j / self.now if self.now > 0 else 0.0),
             scheduler_stats=self.scheduler.stats,
             metrics=self._final_snapshot(),
+            profile=(
+                self.profiler.report(self.now, resolved)
+                if self.profiler.enabled
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -115,3 +115,148 @@ class TestValidateCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "validated 4 points" in out
+
+
+class TestProfileCommand:
+    _ARGS = [
+        "profile",
+        "--model", "LLaMA-3-8B",
+        "--hardware", "A100",
+        "--framework", "vLLM",
+        "--batch-size", "4",
+        "--input-tokens", "128",
+        "--output-tokens", "32",
+    ]
+
+    def test_profile_writes_deterministic_json(self, capsys, tmp_path):
+        import json
+
+        payloads = []
+        for run in range(2):
+            path = tmp_path / f"profile{run}.json"
+            code = main([*self._ARGS, "--output", str(path)])
+            assert code == 0
+            payloads.append(path.read_bytes())
+        assert payloads[0] == payloads[1]
+        profile = json.loads(payloads[0])
+        assert profile["model"] == "LLaMA-3-8B"
+        assert profile["dominant"] is not None
+        assert [p["phase"] for p in profile["phases"]] == ["prefill", "decode"]
+        assert len(profile["requests"]) == 4
+        out = capsys.readouterr().out
+        assert "cost profile" in out
+        assert "MFU" in out and "MBU" in out
+
+    def test_profile_counter_tracks_in_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "profile_trace.json"
+        code = main([
+            *self._ARGS,
+            "--output", str(tmp_path / "profile.json"),
+            "--trace-output", str(trace_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        counters = {
+            e["name"] for e in trace["traceEvents"]
+            if e.get("ph") == "C" and e.get("cat") == "profile"
+        }
+        assert counters >= {
+            "mfu", "mbu", "tokens_per_s", "watts", "joules_per_token"
+        }
+
+    def test_profile_oom_exit_code(self, capsys):
+        code = main([
+            "profile",
+            "--model", "LLaMA-2-70B",
+            "--hardware", "A100",
+            "--framework", "llama.cpp",
+        ])
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out
+
+
+class TestRunExportFlags:
+    def test_metrics_and_profile_outputs_are_deterministic(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        payloads = []
+        for run in range(2):
+            metrics_path = tmp_path / f"metrics{run}.json"
+            profile_path = tmp_path / f"profile{run}.json"
+            code = main([
+                "run", "fig7",
+                "--metrics-output", str(metrics_path),
+                "--profile-output", str(profile_path),
+            ])
+            assert code == 0
+            payloads.append(
+                (metrics_path.read_bytes(), profile_path.read_bytes())
+            )
+        assert payloads[0] == payloads[1]
+        metrics = json.loads(payloads[0][0])
+        assert "fig7" in metrics
+        assert metrics["fig7"]["rows"]
+        profiles = json.loads(payloads[0][1])
+        # Every profiled row names a mechanism from the shared taxonomy.
+        assert profiles["fig7"]
+        for row in profiles["fig7"]:
+            assert row["prefill"]["dominant"]
+            assert row["decode"]["dominant"]
+            assert row["end_to_end_bottleneck"]
+
+
+class TestClusterExportFlags:
+    _ARGS = [
+        "cluster",
+        "--model", "Mistral-7B",
+        "--hardware", "A100",
+        "--framework", "vLLM",
+        "--replicas", "2",
+        "--rate", "6",
+        "--num-requests", "16",
+        "--seed", "5",
+        "--max-concurrency", "8",
+    ]
+
+    def test_cluster_export_flags_are_deterministic(self, capsys, tmp_path):
+        import json
+
+        payloads = []
+        for run in range(2):
+            metrics_path = tmp_path / f"metrics{run}.json"
+            profile_path = tmp_path / f"profile{run}.json"
+            code = main([
+                *self._ARGS,
+                "--metrics-output", str(metrics_path),
+                "--profile-output", str(profile_path),
+            ])
+            assert code == 0
+            payloads.append(
+                (metrics_path.read_bytes(), profile_path.read_bytes())
+            )
+        assert payloads[0] == payloads[1]
+        metrics = json.loads(payloads[0][0])
+        assert "histograms" in metrics and "gauges" in metrics
+        profile = json.loads(payloads[0][1])
+        assert profile["name"] == "cluster"
+        assert len(profile["requests"]) == 16
+        out = capsys.readouterr().out
+        assert "cost profile: cluster" in out
+
+    def test_profile_flag_does_not_change_result_json(self, capsys, tmp_path):
+        plain = tmp_path / "plain.json"
+        profiled = tmp_path / "profiled.json"
+        code = main([*self._ARGS, "--result-output", str(plain)])
+        assert code == 0
+        code = main([
+            *self._ARGS,
+            "--result-output", str(profiled),
+            "--profile-output", str(tmp_path / "p.json"),
+        ])
+        assert code == 0
+        # Profiling must not perturb the chaos job's diffed artifact.
+        assert plain.read_bytes() == profiled.read_bytes()

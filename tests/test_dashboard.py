@@ -53,3 +53,54 @@ class TestWriteDashboard:
         path = write_dashboard(results, tmp_path / "dash.html")
         assert path.exists()
         assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+class TestProfileSection:
+    @pytest.fixture()
+    def profile(self):
+        from repro.frameworks.base import get_framework
+        from repro.hardware.zoo import get_hardware
+        from repro.models.zoo import get_model
+        from repro.perf.phases import Deployment
+        from repro.runtime.engine import ServingEngine
+        from repro.runtime.workload import fixed_batch_trace
+
+        dep = Deployment(
+            get_model("LLaMA-3-8B"), get_hardware("A100"),
+            get_framework("vLLM"),
+        )
+        engine = ServingEngine(dep, max_concurrency=4, profile=True)
+        return engine.run(fixed_batch_trace(4, 128, 32)).profile
+
+    def test_profile_section_renders(self, profile):
+        from repro.dashboard import profile_section_html
+
+        fragment = profile_section_html(profile)
+        assert "Cost attribution profile" in fragment
+        assert "MFU" in fragment and "MBU" in fragment
+        assert "prefill" in fragment and "decode" in fragment
+        assert "Most expensive requests" in fragment
+        assert "class='bar'" in fragment
+
+    def test_dashboard_embeds_profile(self, results, profile, tmp_path):
+        path = write_dashboard(
+            results, tmp_path / "dash.html", profile=profile
+        )
+        text = path.read_text(encoding="utf-8")
+        assert "Cost attribution profile" in text
+
+    def test_empty_profile_section_is_safe(self):
+        from repro.dashboard import profile_section_html
+        from repro.frameworks.base import get_framework
+        from repro.hardware.zoo import get_hardware
+        from repro.models.zoo import get_model
+        from repro.obs import StepProfiler
+        from repro.perf.phases import Deployment
+
+        dep = Deployment(
+            get_model("LLaMA-3-8B"), get_hardware("A100"),
+            get_framework("vLLM"),
+        )
+        fragment = profile_section_html(StepProfiler(dep).report(0.0, []))
+        assert "Cost attribution profile" in fragment
+        assert "nan" not in fragment.replace("dominant", "")
