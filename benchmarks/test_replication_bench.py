@@ -1,0 +1,78 @@
+"""Benches for the cross-run replication layer (repro.experiments).
+
+The statistics layer sits between every seed sweep and every published
+number, so its cost has to stay negligible next to the simulations it
+summarizes — these benches pin the reduction/bootstrap overhead and keep
+an end-to-end replicated A/B honest about total wall time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentSpec,
+    WorkloadSpec,
+    compare_replications,
+    reduce_seed_results,
+    run_replication,
+    summarize_samples,
+)
+
+
+def _spec(name: str, **overrides) -> ExperimentSpec:
+    base = dict(
+        name=name,
+        model="llama-2-7b",
+        hardware="h100",
+        framework="vllm",
+        workload=WorkloadSpec(
+            kind="open_loop",
+            num_requests=8,
+            input_tokens=128,
+            output_tokens=48,
+            rate_rps=4.0,
+        ),
+        seeds=(0, 1, 2),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_bench_bootstrap_summary(benchmark):
+    """2000-resample bootstrap CI over a realistic per-seed sample set."""
+    rng = np.random.default_rng(0)
+    samples = list(rng.lognormal(0.0, 0.3, size=16))
+
+    summary = benchmark(
+        lambda: summarize_samples("ttft_p50_s", samples, method="bootstrap")
+    )
+    assert summary.ci_lo < summary.mean < summary.ci_hi
+
+
+def test_bench_seed_reduction(benchmark):
+    """Reducing per-seed metric dicts into CI summaries (the hot reducer)."""
+    spec = _spec("reduce")
+    report = run_replication(spec)
+    seed_results = report.seed_results
+
+    reduced = benchmark(lambda: reduce_seed_results(spec, seed_results))
+    assert reduced.summaries.keys() == report.summaries.keys()
+
+
+def test_bench_replicated_ab(benchmark):
+    """End-to-end A/B: two 3-seed replications plus paired significance.
+
+    The fp8-vs-fp16 contrast the acceptance tests golden; wall time here
+    is dominated by the six engine runs, bounding what an `experiment
+    compare` invocation costs users.
+    """
+
+    def run():
+        a = run_replication(_spec("fp16"))
+        b = run_replication(_spec("fp8", quant="fp8"))
+        return compare_replications(a, b)
+
+    comparison = benchmark(run)
+    assert comparison.paired
+    assert "itl_mean_s" in comparison.significant_metrics()

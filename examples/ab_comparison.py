@@ -1,0 +1,96 @@
+"""A/B testing a serving change with statistical replication.
+
+Single benchmark runs answer "what happened"; before publishing a
+cross-config claim the paper's tables need "is it real".  This example
+replicates one deployment twice — FP16 baseline vs FP8 weights on an
+H100 — across a shared seed set, then:
+
+* summarizes every serving metric (TTFT/ITL/NTPOT percentiles,
+  throughput, SLO attainment, energy per token) with 95% confidence
+  intervals;
+* runs a paired-by-seed significance test per metric and reports which
+  differences survive seed noise (FP8 should; an A/A control must not);
+* freezes the baseline into a replayable experiment bundle and verifies
+  the replay reproduces every per-seed result byte-for-byte.
+
+Everything is deterministic under the fixed seed set, so the printed
+verdicts are stable run to run.
+
+Run:  python examples/ab_comparison.py [bundle.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ExperimentSpec,
+    WorkloadSpec,
+    bundle_replication,
+    compare_replications,
+    run_replication,
+    verify_replay,
+)
+
+WORKLOAD = WorkloadSpec(
+    kind="open_loop",
+    num_requests=12,
+    input_tokens=256,
+    output_tokens=64,
+    rate_rps=4.0,
+)
+SEEDS = (0, 1, 2, 3)
+
+
+def spec(name: str, quant: str | None = None) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        model="llama-2-7b",
+        hardware="h100",
+        framework="vllm",
+        workload=WORKLOAD,
+        seeds=SEEDS,
+        quant=quant,
+        profiled=True,
+    )
+
+
+def main() -> None:
+    bundle_path = sys.argv[1] if len(sys.argv) > 1 else "ab_bundle.json"
+
+    print("== replicating baseline (FP16) ==")
+    baseline = run_replication(spec("h100-fp16"))
+    print(baseline.render())
+
+    print()
+    print("== replicating treatment (FP8 weights) ==")
+    treatment = run_replication(spec("h100-fp8", quant="fp8"))
+    print(treatment.render())
+
+    print()
+    print("== A/B: fp16 vs fp8 (paired by seed) ==")
+    ab = compare_replications(baseline, treatment)
+    print(ab.render())
+
+    print()
+    print("== A/A control: identical config must not flag ==")
+    control = run_replication(spec("h100-fp16"))
+    aa = compare_replications(baseline, control)
+    flagged = aa.significant_metrics()
+    print(f"significant metrics in A/A: {flagged or 'none'}")
+    assert not flagged, "A/A comparison flagged seed noise as signal"
+
+    print()
+    print("== bundling + replay verification ==")
+    bundle = bundle_replication(baseline)
+    bundle.save(bundle_path)
+    ok, mismatches = verify_replay(bundle)
+    assert ok, mismatches
+    print(
+        f"wrote {bundle_path}; replay reproduced "
+        f"{len(bundle.seed_results)} seed results byte-for-byte"
+    )
+
+
+if __name__ == "__main__":
+    main()

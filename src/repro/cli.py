@@ -29,6 +29,14 @@ cluster --model M --hardware H --framework F [--replicas N] [--router R]
     injects a fault schedule and ``--autoscale POLICY`` scales the fleet
     mid-run; ``--result-output`` writes the deterministic result JSON
     the CI chaos job diffs across repeat runs.
+experiment run|replay|compare|diff
+    Cross-run statistics (``repro.experiments``): ``run`` executes a
+    multi-seed replication from a spec JSON and writes a self-describing
+    bundle; ``replay`` re-executes a bundle's spec+seeds and verifies the
+    per-seed results byte-for-byte; ``compare`` tests two bundles
+    metric-by-metric for significance (Welch / Mann-Whitney /
+    paired-by-seed); ``diff`` compares two cost profiles (or profiled
+    bundles, with significance) component-by-component.
 """
 
 from __future__ import annotations
@@ -252,6 +260,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-output", default=None, metavar="PATH",
         help="profile the run; write the merged fleet ProfileReport JSON",
     )
+
+    exp_p = sub.add_parser(
+        "experiment",
+        help="replicated experiments: run, replay, compare, profile-diff",
+    )
+    exp_sub = exp_p.add_subparsers(dest="verb", required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run a multi-seed replication from a spec; write a bundle"
+    )
+    exp_run.add_argument("--spec", required=True, metavar="SPEC.JSON",
+                         help="ExperimentSpec JSON (see docs/experiments.md)")
+    exp_run.add_argument("--output", default="bundle.json", metavar="PATH",
+                         help="experiment bundle JSON path")
+    exp_run.add_argument("--confidence", type=float, default=0.95,
+                         help="confidence level for metric intervals")
+    exp_run.add_argument("--method", default="t", choices=("t", "bootstrap"),
+                         help="confidence-interval method")
+
+    exp_replay = exp_sub.add_parser(
+        "replay",
+        help="re-execute a bundle's spec+seeds; verify results byte-for-byte",
+    )
+    exp_replay.add_argument("--bundle", required=True, metavar="BUNDLE.JSON")
+    exp_replay.add_argument("--output", default=None, metavar="PATH",
+                            help="write the replayed bundle here")
+
+    exp_compare = exp_sub.add_parser(
+        "compare", help="A-vs-B significance tests over two bundles"
+    )
+    exp_compare.add_argument("--a", required=True, metavar="BUNDLE.JSON",
+                             dest="bundle_a")
+    exp_compare.add_argument("--b", required=True, metavar="BUNDLE.JSON",
+                             dest="bundle_b")
+    exp_compare.add_argument("--alpha", type=float, default=0.05,
+                             help="significance level")
+    exp_compare.add_argument(
+        "--test", default="auto",
+        choices=("auto", "welch", "mann-whitney", "paired"),
+        help="auto pairs by seed when both bundles share workload+seeds",
+    )
+    exp_compare.add_argument("--output", default=None, metavar="PATH",
+                             help="write the comparison report JSON here")
+
+    exp_diff = exp_sub.add_parser(
+        "diff",
+        help="component-by-component diff of two profiles or profiled bundles",
+    )
+    exp_diff.add_argument("--a", required=True, metavar="PATH", dest="profile_a",
+                          help="profile JSON (from `profile`) or bundle JSON")
+    exp_diff.add_argument("--b", required=True, metavar="PATH", dest="profile_b")
+    exp_diff.add_argument("--alpha", type=float, default=0.05,
+                          help="significance level (bundle inputs only)")
+    exp_diff.add_argument("--output", default=None, metavar="PATH",
+                          help="write the diff JSON here")
 
     bench_p = sub.add_parser(
         "bench",
@@ -732,6 +795,105 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if summary.max_relative_error < 0.05 else 1
 
 
+def _load_profile_or_bundle(path: str):
+    """Read ``path`` as either a profile JSON or an experiment bundle.
+
+    Returns ``(profiles, label)`` where ``profiles`` is the list of
+    per-seed :class:`~repro.obs.profiler.ProfileReport` objects (length 1
+    for a plain profile JSON written by the ``profile`` verb).
+    """
+    import json as _json
+
+    from repro.experiments import ExperimentBundle
+    from repro.obs.profiler import ProfileReport
+
+    with open(path, encoding="utf-8") as fh:
+        payload = _json.load(fh)
+    if "bundle_version" in payload:
+        bundle = ExperimentBundle.from_json_dict(payload)
+        profiles = [
+            sr.profile for sr in bundle.seed_results if sr.profile is not None
+        ]
+        if not profiles:
+            raise ValueError(
+                f"{path} holds no profiles; re-run the experiment with "
+                '"profiled": true in its spec'
+            )
+        return profiles, bundle.spec.name
+    return [ProfileReport.from_json_dict(payload)], str(payload.get("name", path))
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentBundle,
+        ExperimentSpec,
+        bundle_replication,
+        compare_replications,
+        diff_profiles,
+        diff_replicated_profiles,
+        replay,
+        run_replication,
+        verify_replay,
+    )
+
+    if args.verb == "run":
+        spec = ExperimentSpec.load(args.spec)
+        report = run_replication(
+            spec, confidence=args.confidence, method=args.method
+        )
+        print(report.render())
+        bundle_replication(report).save(args.output)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.verb == "replay":
+        bundle = ExperimentBundle.load(args.bundle)
+        fresh = replay(bundle)
+        if args.output is not None:
+            fresh.save(args.output)
+            print(f"wrote {args.output}")
+        ok, mismatches = verify_replay(bundle, fresh)
+        if ok:
+            print(
+                f"replay verified: {len(bundle.seed_results)} seed results "
+                "byte-identical"
+            )
+            return 0
+        for mismatch in mismatches:
+            print(f"MISMATCH: {mismatch}")
+        return 1
+
+    if args.verb == "compare":
+        report_a = ExperimentBundle.load(args.bundle_a).report()
+        report_b = ExperimentBundle.load(args.bundle_b).report()
+        comparison = compare_replications(
+            report_a, report_b, alpha=args.alpha, test=args.test
+        )
+        print(comparison.render())
+        if args.output is not None:
+            _write_json(args.output, comparison.to_json_dict())
+        return 0
+
+    if args.verb == "diff":
+        profiles_a, _ = _load_profile_or_bundle(args.profile_a)
+        profiles_b, _ = _load_profile_or_bundle(args.profile_b)
+        if len(profiles_a) > 1 and len(profiles_b) > 1:
+            diff = diff_replicated_profiles(
+                profiles_a,
+                profiles_b,
+                alpha=args.alpha,
+                paired=len(profiles_a) == len(profiles_b),
+            )
+        else:
+            diff = diff_profiles(profiles_a[0], profiles_b[0])
+        print(diff.render())
+        if args.output is not None:
+            _write_json(args.output, diff.to_json_dict())
+        return 0
+
+    raise AssertionError(f"unhandled experiment verb {args.verb!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -758,6 +920,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

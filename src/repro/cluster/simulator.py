@@ -974,6 +974,11 @@ class ClusterSimulator:
             if request.finish_time is None:
                 continue
             registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+            if request.output_tokens > 0:
+                # NTPOT lane, mirroring the single-engine histogram set.
+                registry.histogram("ntpot_s").record(
+                    request.end_to_end_latency_s / request.output_tokens
+                )
             if request.output_tokens > 1:
                 gap = (request.finish_time - request.first_token_time) / (
                     request.output_tokens - 1

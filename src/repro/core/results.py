@@ -117,6 +117,26 @@ class ResultTable:
         grid = [[index[(r, c)] for c in cols] for r in rows]
         return rows, cols, grid
 
+    def annotated(self, **extra_keys: Any) -> "ResultTable":
+        """A copy with ``extra_keys`` merged into every record's keys.
+
+        The way experiment tables get tagged before concatenation — e.g.
+        stacking per-config replication tables into one sweep, or marking
+        every row of a comparison with the configs it came from —
+        without mutating the source table.  Colliding key names raise.
+        """
+        out = ResultTable(name=self.name)
+        for rec in self.records:
+            overlap = set(rec.keys) & set(extra_keys)
+            if overlap:
+                raise ValueError(
+                    f"annotation collides with existing keys: {sorted(overlap)}"
+                )
+            out.records.append(
+                ResultRecord({**rec.keys, **extra_keys}, rec.values)
+            )
+        return out
+
     def group_by(self, *names: str) -> dict[tuple[Any, ...], "ResultTable"]:
         groups: dict[tuple[Any, ...], ResultTable] = {}
         for rec in self.records:

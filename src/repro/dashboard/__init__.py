@@ -2,16 +2,20 @@
 
 from repro.dashboard.html import (
     cluster_section_html,
+    comparison_section_html,
     dashboard_html,
     metrics_section_html,
     profile_section_html,
+    replication_section_html,
     write_dashboard,
 )
 
 __all__ = [
     "cluster_section_html",
+    "comparison_section_html",
     "dashboard_html",
     "metrics_section_html",
     "profile_section_html",
+    "replication_section_html",
     "write_dashboard",
 ]

@@ -18,6 +18,8 @@ from repro.obs.metrics import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.simulator import ClusterResult
+    from repro.experiments.compare import ComparisonReport
+    from repro.experiments.runner import ReplicationReport
     from repro.obs.profiler import ProfileReport
 
 __all__ = [
@@ -26,6 +28,8 @@ __all__ = [
     "metrics_section_html",
     "cluster_section_html",
     "profile_section_html",
+    "replication_section_html",
+    "comparison_section_html",
 ]
 
 _PAGE = """<!DOCTYPE html>
@@ -342,11 +346,112 @@ def profile_section_html(
     return "\n".join(parts)
 
 
+def replication_section_html(
+    report: "ReplicationReport", title: str | None = None
+) -> str:
+    """Static HTML fragment for one replicated experiment.
+
+    One row per metric: mean with its confidence interval, sample spread
+    and an interval-width bar (relative half-width), so the dashboard
+    shows which numbers carry real error bars and which are single-seed
+    point estimates.  Embeddable via ``dashboard_html``'s ``replication``
+    argument.
+    """
+    import math as _math
+
+    if title is None:
+        title = f"Replication: {report.spec.name}"
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    parts.append(
+        "<p class='note'>"
+        f"{html.escape(report.spec.model)} on {html.escape(report.spec.hardware)}"
+        f" / {html.escape(report.spec.framework)} &mdash; "
+        f"{report.num_seeds} seeds, {html.escape(report.method)} intervals at "
+        f"{report.confidence:.0%} confidence</p>"
+    )
+    parts.append(
+        "<table class='data'><tr><th>metric</th><th>mean</th>"
+        "<th>CI low</th><th>CI high</th><th>std</th><th>n</th><th></th></tr>"
+    )
+    for name in sorted(report.summaries):
+        s = report.summaries[name]
+        half = s.half_width
+        rel = (
+            half / abs(s.mean)
+            if _math.isfinite(half) and s.mean not in (0.0,) and _math.isfinite(s.mean)
+            else float("nan")
+        )
+        width = (
+            round(200 * min(1.0, rel)) if _math.isfinite(rel) else 0
+        )
+        fmt = lambda v: f"{v:.4g}" if _math.isfinite(v) else "&mdash;"  # noqa: E731
+        parts.append(
+            f"<tr><td>{html.escape(name)}</td><td>{fmt(s.mean)}</td>"
+            f"<td>{fmt(s.ci_lo)}</td><td>{fmt(s.ci_hi)}</td>"
+            f"<td>{fmt(s.std)}</td><td>{s.n}</td>"
+            f"<td><span class='bar' style='width:{width}px'></span></td></tr>"
+        )
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
+def comparison_section_html(
+    report: "ComparisonReport", title: str | None = None
+) -> str:
+    """Static HTML fragment for an A-vs-B comparison.
+
+    One row per metric with both means, the delta, the p-value and a
+    ``significant`` marker at the report's alpha; significant rows carry
+    the marker so sweep reviews can skim for real effects.  Embeddable
+    via ``dashboard_html``'s ``comparison`` argument.
+    """
+    import math as _math
+
+    if title is None:
+        title = f"Comparison: {report.name_a} vs {report.name_b}"
+    pairing = "paired by seed" if report.paired else "independent samples"
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    parts.append(
+        "<p class='note'>"
+        f"A = {html.escape(report.name_a)}, B = {html.escape(report.name_b)} "
+        f"&mdash; {pairing}, significance at p&lt;{report.alpha:g}</p>"
+    )
+    parts.append(
+        "<table class='data'><tr><th>metric</th><th>A</th><th>B</th>"
+        "<th>delta</th><th>p</th><th>significant</th></tr>"
+    )
+    for comp in report.comparisons:
+        p = comp.test.p_value
+        sig = comp.significant(report.alpha)
+        parts.append(
+            f"<tr><td>{html.escape(comp.metric)}</td>"
+            f"<td>{comp.mean_a:.4g}</td><td>{comp.mean_b:.4g}</td>"
+            f"<td>{comp.delta:+.4g}</td>"
+            + (
+                f"<td>{p:.3g}</td>"
+                if _math.isfinite(p)
+                else "<td>&mdash;</td>"
+            )
+            + f"<td>{'*' if sig else ''}</td></tr>"
+        )
+    parts.append("</table>")
+    significant = report.significant_metrics()
+    if significant:
+        parts.append(
+            "<p class='note'>significant: "
+            + html.escape(", ".join(significant))
+            + "</p>"
+        )
+    return "\n".join(parts)
+
+
 def dashboard_html(
     results: list[ExperimentResult],
     metrics: MetricsSnapshot | None = None,
     cluster: "ClusterResult | None" = None,
     profile: "ProfileReport | None" = None,
+    replication: "ReplicationReport | None" = None,
+    comparison: "ComparisonReport | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
@@ -354,7 +459,10 @@ def dashboard_html(
     histogram panels below the experiment browser; ``cluster`` (optional)
     appends a cluster-simulation section (replica utilization, fleet
     gauges) the same way; ``profile`` (optional) appends a cost-
-    attribution section (roofline shares, MFU/MBU/energy counters).
+    attribution section (roofline shares, MFU/MBU/energy counters);
+    ``replication`` and ``comparison`` (optional) append the
+    confidence-interval and A/B-significance sections from
+    :mod:`repro.experiments`.
     """
     if not results:
         raise ValueError("no results to render")
@@ -383,6 +491,14 @@ def dashboard_html(
         metrics_html += ("\n" if metrics_html else "") + profile_section_html(
             profile
         )
+    if replication is not None:
+        metrics_html += (
+            "\n" if metrics_html else ""
+        ) + replication_section_html(replication)
+    if comparison is not None:
+        metrics_html += (
+            "\n" if metrics_html else ""
+        ) + comparison_section_html(comparison)
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -392,12 +508,19 @@ def write_dashboard(
     metrics: MetricsSnapshot | None = None,
     cluster: "ClusterResult | None" = None,
     profile: "ProfileReport | None" = None,
+    replication: "ReplicationReport | None" = None,
+    comparison: "ComparisonReport | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
     out.write_text(
         dashboard_html(
-            results, metrics=metrics, cluster=cluster, profile=profile
+            results,
+            metrics=metrics,
+            cluster=cluster,
+            profile=profile,
+            replication=replication,
+            comparison=comparison,
         ),
         encoding="utf-8",
     )

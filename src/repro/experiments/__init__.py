@@ -1,0 +1,82 @@
+"""Cross-run observability: replication, A/B comparison, bundles, diffs.
+
+Single runs answer "what happened"; this package answers "is it real".
+It replicates any engine/cluster configuration across seeds
+(:mod:`~repro.experiments.runner`), summarizes every serving metric with
+confidence intervals (:mod:`~repro.experiments.stats`), compares two
+deployments with significance tests (:mod:`~repro.experiments.compare`),
+freezes whole experiments into replayable JSON bundles
+(:mod:`~repro.experiments.bundle`) and diffs cost profiles
+component-by-component (:mod:`~repro.experiments.diff`).  The CLI face
+is ``llm-inference-bench experiment run|replay|compare|diff``.
+"""
+
+from repro.experiments.bundle import (
+    BUNDLE_VERSION,
+    ExperimentBundle,
+    bundle_replication,
+    replay,
+    verify_replay,
+)
+from repro.experiments.compare import (
+    ComparisonReport,
+    MetricComparison,
+    compare_replications,
+)
+from repro.experiments.diff import (
+    MetricDelta,
+    PhaseDiff,
+    ProfileDiff,
+    diff_profiles,
+    diff_replicated_profiles,
+)
+from repro.experiments.runner import (
+    ReplicationReport,
+    SeedResult,
+    reduce_seed_results,
+    run_replication,
+    run_seed,
+)
+from repro.experiments.spec import QUANT_SCHEMES, ExperimentSpec, WorkloadSpec
+from repro.experiments.stats import (
+    MetricSummary,
+    TestResult,
+    bootstrap_interval,
+    mann_whitney_u_test,
+    paired_t_test,
+    summarize_samples,
+    t_interval,
+    welch_t_test,
+)
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "ExperimentBundle",
+    "bundle_replication",
+    "replay",
+    "verify_replay",
+    "ComparisonReport",
+    "MetricComparison",
+    "compare_replications",
+    "MetricDelta",
+    "PhaseDiff",
+    "ProfileDiff",
+    "diff_profiles",
+    "diff_replicated_profiles",
+    "ReplicationReport",
+    "SeedResult",
+    "reduce_seed_results",
+    "run_replication",
+    "run_seed",
+    "QUANT_SCHEMES",
+    "ExperimentSpec",
+    "WorkloadSpec",
+    "MetricSummary",
+    "TestResult",
+    "bootstrap_interval",
+    "mann_whitney_u_test",
+    "paired_t_test",
+    "summarize_samples",
+    "t_interval",
+    "welch_t_test",
+]

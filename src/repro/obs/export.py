@@ -17,7 +17,7 @@ import json
 from pathlib import Path
 
 from repro.obs.metrics import MetricsSnapshot
-from repro.obs.tracer import CATEGORIES, PHASE_COMPLETE, TraceEvent
+from repro.obs.tracer import CATEGORIES, PHASE_COMPLETE, PHASE_COUNTER, TraceEvent
 
 __all__ = [
     "counter_series",
@@ -62,8 +62,18 @@ def _track_records(
             }
         )
     for event in sorted(events, key=lambda e: e.ts_s):
+        # Counter tracks are identified by (pid, name) in the trace_event
+        # format; namespacing profiler counters as ``profile/<name>``
+        # keeps each replica's mfu/mbu/watts lanes distinct and grouped
+        # in multi-process (fleet) traces instead of colliding with span
+        # names — one ``profile/mfu`` lane under every replica pid.
+        name = (
+            f"{event.category}/{event.name}"
+            if event.phase == PHASE_COUNTER and event.category == "profile"
+            else event.name
+        )
         record: dict[str, object] = {
-            "name": event.name,
+            "name": name,
             "cat": event.category,
             "ph": event.phase,
             "ts": event.ts_s * _S_TO_US,

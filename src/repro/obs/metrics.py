@@ -240,10 +240,59 @@ class MetricsSnapshot:
             },
         }
 
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_json_dict` (``null`` -> NaN).
+
+        Round-trips losslessly: ``snapshot.to_json_dict()`` equals
+        ``MetricsSnapshot.from_json_dict(snapshot.to_json_dict())
+        .to_json_dict()`` key-for-key (tested), which is what experiment
+        bundles rely on to compare replayed metrics byte-for-byte.
+        ``None`` maps back to NaN — ``inf`` is not distinguished, but no
+        registry instrument produces infinities.
+        """
+        counters = {
+            name: _from_json_num(value)
+            for name, value in dict(payload.get("counters", {})).items()
+        }
+        gauges = {
+            name: GaugeStats(
+                last=_from_json_num(g["last"]),
+                minimum=_from_json_num(g["min"]),
+                maximum=_from_json_num(g["max"]),
+                time_weighted_mean=_from_json_num(g["time_weighted_mean"]),
+                num_samples=int(g["num_samples"]),
+            )
+            for name, g in dict(payload.get("gauges", {})).items()
+        }
+        histograms = {
+            name: HistogramStats(
+                count=int(h["count"]),
+                mean=_from_json_num(h["mean"]),
+                p50=_from_json_num(h["p50"]),
+                p90=_from_json_num(h["p90"]),
+                p99=_from_json_num(h["p99"]),
+                buckets=tuple(h["buckets"]),
+                bucket_counts=tuple(int(c) for c in h["bucket_counts"]),
+            )
+            for name, h in dict(payload.get("histograms", {})).items()
+        }
+        return cls(counters=counters, gauges=gauges, histograms=histograms)
+
 
 def _json_num(value: float) -> float | None:
     """JSON-safe scalar: ``None`` for NaN/inf (empty gauges/histograms)."""
     return value if math.isfinite(value) else None
+
+
+def _from_json_num(value: float | None) -> float:
+    """Inverse of :func:`_json_num`: ``None`` back to NaN.
+
+    Numbers pass through *untouched* (no float() coercion): gauges fed
+    integer samples snapshot integer stats, and coercing them on load
+    would turn ``0`` into ``0.0`` and break byte-identical round-trips.
+    """
+    return float("nan") if value is None else value
 
 
 class MetricsRegistry:

@@ -43,7 +43,7 @@ import math
 from dataclasses import dataclass
 
 from repro.analysis.bottleneck import Bottleneck, PhaseAttribution
-from repro.core.metrics import CostComponents, LatencyBreakdown
+from repro.core.metrics import COMPONENT_FIELDS, CostComponents, LatencyBreakdown
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.kernel import get_kernel
 from repro.perf.phases import Deployment
@@ -71,6 +71,23 @@ def _finite(value: float) -> float | None:
 def _ratio(numerator: float, denominator: float) -> float:
     """``numerator / denominator`` with 0.0 on an empty denominator."""
     return numerator / denominator if denominator > 0.0 else 0.0
+
+
+def _unfinite(value: object) -> float:
+    """Inverse of :func:`_finite`: ``None`` back to NaN.
+
+    Numbers pass through untouched (no float() coercion) so JSON that
+    serialized an integer-valued field re-serializes byte-identically.
+    """
+    return float("nan") if value is None else value  # type: ignore[return-value]
+
+
+def _components_from_json(payload: object) -> CostComponents:
+    """Rebuild a :class:`CostComponents` from its ``components_s`` dict."""
+    data = dict(payload)  # type: ignore[call-overload]
+    return CostComponents(
+        **{name: _unfinite(data.get(name, 0.0)) for name in COMPONENT_FIELDS}
+    )
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,21 @@ class PhaseProfile:
             "dominant": str(dominant) if dominant is not None else None,
         }
 
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "PhaseProfile":
+        """Inverse of :meth:`to_json_dict` (derived fields recomputed)."""
+        return cls(
+            phase=str(payload["phase"]),
+            time_s=_unfinite(payload["time_s"]),
+            events=int(payload["events"]),
+            steps=int(payload["steps"]),
+            tokens=int(payload["tokens"]),
+            flops=_unfinite(payload["flops"]),
+            bytes_moved=_unfinite(payload["bytes_moved"]),
+            energy_j=_unfinite(payload["energy_j"]),
+            components=_components_from_json(payload["components_s"]),
+        )
+
 
 @dataclass(frozen=True)
 class RequestProfile:
@@ -164,6 +196,18 @@ class RequestProfile:
             },
             "dominant": str(dominant) if dominant is not None else None,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "RequestProfile":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            index=int(payload["index"]),
+            input_tokens=int(payload["input_tokens"]),
+            output_tokens=int(payload["output_tokens"]),
+            time_s=_unfinite(payload["time_s"]),
+            energy_j=_unfinite(payload["energy_j"]),
+            components=_components_from_json(payload["components_s"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -339,6 +383,40 @@ class ProfileReport:
             "phases": [phase.to_json_dict() for phase in self.phases],
             "requests": [req.to_json_dict() for req in self.requests],
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "ProfileReport":
+        """Inverse of :meth:`to_json_dict`.
+
+        Only the stored fields are read back — every derived aggregate
+        (MFU, MBU, joules/token, dominant bottleneck) is recomputed from
+        them, so a reconstructed report cannot disagree with its parts.
+        Round-trips to an identical ``to_json_dict()`` (tested); this is
+        what lets ``experiment diff`` and bundle replay consume profile
+        JSON written by the ``profile`` CLI verb.
+        """
+        return cls(
+            name=str(payload["name"]),
+            model=str(payload["model"]),
+            hardware=str(payload["hardware"]),
+            framework=str(payload["framework"]),
+            num_devices=int(payload["num_devices"]),
+            total_time_s=_unfinite(payload["total_time_s"]),
+            busy_s=_unfinite(payload["busy_s"]),
+            idle_s=_unfinite(payload["idle_s"]),
+            energy_j=_unfinite(payload["energy_j"]),
+            idle_energy_j=_unfinite(payload["idle_energy_j"]),
+            peak_flops_per_s=_unfinite(payload["peak_flops_per_s"]),
+            peak_bandwidth_bytes_s=_unfinite(payload["peak_bandwidth_bytes_s"]),
+            flop_capacity=_unfinite(payload["flop_capacity"]),
+            byte_capacity=_unfinite(payload["byte_capacity"]),
+            phases=tuple(
+                PhaseProfile.from_json_dict(p) for p in payload["phases"]
+            ),
+            requests=tuple(
+                RequestProfile.from_json_dict(r) for r in payload["requests"]
+            ),
+        )
 
 
 class _PhaseAcc:

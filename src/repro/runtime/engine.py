@@ -623,6 +623,12 @@ class EngineRun:
         for request in done:
             registry.histogram("ttft_s").record(request.ttft_s)
             registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+            if request.output_tokens > 0:
+                # NTPOT: whole-request latency per generated token
+                # (queueing and prefill included, unlike ITL).
+                registry.histogram("ntpot_s").record(
+                    request.end_to_end_latency_s / request.output_tokens
+                )
             if request.output_tokens > 1 and request.first_token_time is not None:
                 gap = (request.finish_time - request.first_token_time) / (
                     request.output_tokens - 1

@@ -84,17 +84,28 @@ class LoadReport:
     slo_attainment: float  # fraction of requests meeting the SLO
     goodput_rps: float  # SLO-meeting requests per second
     average_power_w: float
+    # Normalized time per output token: mean over finished requests of
+    # end-to-end latency / output tokens (llm-d-benchmark's NTPOT).
+    # Unlike ITL it charges queueing and prefill to every token, so it is
+    # the per-token number an operator's cost model should use.  NaN when
+    # nothing finished.
+    ntpot_mean_s: float = float("nan")
+    failure_rate: float = 0.0  # fraction of requests that never finished
 
     def render(self) -> str:
-        return (
+        line = (
             f"offered {self.offered_rate_rps:.2f} req/s | "
             f"goodput {self.goodput_rps:.2f} req/s "
             f"({self.slo_attainment:.0%} SLO) | "
             f"TTFT p50/p95/p99 {self.ttft_p50_s:.2f}/{self.ttft_p95_s:.2f}/"
             f"{self.ttft_p99_s:.2f}s | ITL {self.itl_mean_s * 1e3:.1f}ms | "
+            f"NTPOT {self.ntpot_mean_s * 1e3:.1f}ms | "
             f"{self.throughput_tokens_per_s:,.0f} tok/s | "
             f"{self.average_power_w:,.0f} W"
         )
+        if self.failure_rate > 0:
+            line += f" | {self.failure_rate:.0%} failed"
+        return line
 
 
 def summarize_requests(
@@ -129,6 +140,15 @@ def summarize_requests(
     intervals = sum(r.output_tokens - 1 for r in finished if r.output_tokens > 1)
     itl_mean = total_gap / intervals if intervals else 0.0
 
+    # NTPOT (normalized time per output token): whole-request latency per
+    # generated token, queueing and prefill included.
+    ntpots = [
+        r.end_to_end_latency_s / r.output_tokens
+        for r in finished
+        if r.output_tokens > 0
+    ]
+    ntpot_mean = sum(ntpots) / len(ntpots) if ntpots else float("nan")
+
     total_tokens = sum(r.input_tokens + r.generated_tokens for r in requests)
     met = sum(1 for r in requests if slo.met_by(r))
     return LoadReport(
@@ -145,6 +165,8 @@ def summarize_requests(
         slo_attainment=met / len(requests),
         goodput_rps=met / makespan_s if makespan_s > 0 else 0.0,
         average_power_w=average_power_w,
+        ntpot_mean_s=ntpot_mean,
+        failure_rate=1.0 - len(finished) / len(requests),
     )
 
 

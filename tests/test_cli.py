@@ -162,8 +162,11 @@ class TestProfileCommand:
             e["name"] for e in trace["traceEvents"]
             if e.get("ph") == "C" and e.get("cat") == "profile"
         }
+        # Profile counters export namespaced so multi-replica traces keep
+        # one utilization lane per replica pid.
         assert counters >= {
-            "mfu", "mbu", "tokens_per_s", "watts", "joules_per_token"
+            "profile/mfu", "profile/mbu", "profile/tokens_per_s",
+            "profile/watts", "profile/joules_per_token",
         }
 
     def test_profile_oom_exit_code(self, capsys):
@@ -260,3 +263,115 @@ class TestClusterExportFlags:
         assert code == 0
         # Profiling must not perturb the chaos job's diffed artifact.
         assert plain.read_bytes() == profiled.read_bytes()
+
+
+class TestExperimentCommand:
+    def _spec_path(self, tmp_path, name="cli-exp", **overrides):
+        import json
+
+        spec = {
+            "name": name,
+            "model": "llama-2-7b",
+            "hardware": "h100",
+            "framework": "vllm",
+            "mode": "engine",
+            "profiled": True,
+            "seeds": [0, 1],
+            "workload": {
+                "kind": "open_loop",
+                "num_requests": 6,
+                "input_tokens": 128,
+                "output_tokens": 32,
+                "rate_rps": 4.0,
+            },
+        }
+        spec.update(overrides)
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        return path
+
+    def test_run_writes_bundle(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle.json"
+        code = main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path)),
+            "--output", str(bundle),
+        ])
+        assert code == 0
+        assert bundle.exists()
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+
+    def test_replay_is_byte_identical(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle.json"
+        main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path)),
+            "--output", str(bundle),
+        ])
+        capsys.readouterr()
+        replayed = tmp_path / "replayed.json"
+        code = main([
+            "experiment", "replay",
+            "--bundle", str(bundle),
+            "--output", str(replayed),
+        ])
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+        assert replayed.read_bytes() == bundle.read_bytes()
+
+    def test_replay_detects_tampering(self, tmp_path, capsys):
+        import json
+
+        bundle = tmp_path / "bundle.json"
+        main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path)),
+            "--output", str(bundle),
+        ])
+        capsys.readouterr()
+        doc = json.loads(bundle.read_text(encoding="utf-8"))
+        doc["seed_results"][0]["metrics"]["makespan_s"] = 123456.0
+        bundle.write_text(json.dumps(doc), encoding="utf-8")
+        code = main(["experiment", "replay", "--bundle", str(bundle)])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_compare_flags_quantization(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path, name="fp16")),
+            "--output", str(a),
+        ])
+        main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path, name="fp8", quant="fp8")),
+            "--output", str(b),
+        ])
+        capsys.readouterr()
+        code = main([
+            "experiment", "compare", "--a", str(a), "--b", str(b),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fp16" in out and "fp8" in out
+
+    def test_diff_on_bundles(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        main([
+            "experiment", "run",
+            "--spec", str(self._spec_path(tmp_path)),
+            "--output", str(a),
+        ])
+        capsys.readouterr()
+        out_json = tmp_path / "diff.json"
+        code = main([
+            "experiment", "diff",
+            "--a", str(a), "--b", str(a),
+            "--output", str(out_json),
+        ])
+        assert code == 0
+        assert "joules_per_token" in capsys.readouterr().out
+        assert out_json.exists()

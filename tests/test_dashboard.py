@@ -104,3 +104,55 @@ class TestProfileSection:
         fragment = profile_section_html(StepProfiler(dep).report(0.0, []))
         assert "Cost attribution profile" in fragment
         assert "nan" not in fragment.replace("dominant", "")
+
+
+class TestExperimentSections:
+    @pytest.fixture(scope="class")
+    def replications(self):
+        from repro.experiments import (
+            ExperimentSpec,
+            WorkloadSpec,
+            compare_replications,
+            run_replication,
+        )
+
+        spec = ExperimentSpec(
+            name="dash-a",
+            model="llama-2-7b",
+            hardware="h100",
+            framework="vllm",
+            workload=WorkloadSpec(
+                kind="open_loop", num_requests=6, input_tokens=64,
+                output_tokens=24, rate_rps=4.0,
+            ),
+            seeds=(0, 1),
+        )
+        a = run_replication(spec)
+        b = run_replication(spec.with_name("dash-b"))
+        return a, compare_replications(a, b)
+
+    def test_replication_section_renders(self, replications):
+        from repro.dashboard import replication_section_html
+
+        report, _ = replications
+        fragment = replication_section_html(report)
+        assert "ttft_p50_s" in fragment
+        assert "dash-a" in fragment
+
+    def test_comparison_section_renders(self, replications):
+        from repro.dashboard import comparison_section_html
+
+        _, comparison = replications
+        fragment = comparison_section_html(comparison)
+        assert "ttft_p50_s" in fragment
+        assert "dash-a" in fragment and "dash-b" in fragment
+
+    def test_dashboard_embeds_sections(self, results, replications, tmp_path):
+        report, comparison = replications
+        path = write_dashboard(
+            results, tmp_path / "dash.html",
+            replication=report, comparison=comparison,
+        )
+        text = path.read_text(encoding="utf-8")
+        assert "ttft_p50_s" in text
+        assert "dash-a" in text

@@ -142,3 +142,55 @@ class TestCapacitySearch:
             find_max_sustainable_rate(_dep(), attainment_target=0.0)
         with pytest.raises(ValueError):
             find_max_sustainable_rate(_dep(), max_rate_rps=0.1, tolerance_rps=0.25)
+
+
+class TestNtpotAndFailureRate:
+    def _finished(self, e2e: float, out: int, arrival: float = 0.0):
+        req = GenerationRequest(100, out, arrival_time=arrival)
+        req.first_token_time = arrival + 0.1
+        req.finish_time = arrival + e2e
+        req.generated_tokens = out
+        return req
+
+    def test_ntpot_is_e2e_per_output_token(self):
+        from repro.runtime.loadgen import summarize_requests
+
+        # 2.0 s / 10 tokens and 4.0 s / 10 tokens => mean 0.3 s/token.
+        reqs = [self._finished(2.0, 10), self._finished(4.0, 10)]
+        report = summarize_requests(reqs, makespan_s=4.0, offered_rate_rps=1.0)
+        assert report.ntpot_mean_s == pytest.approx(0.3)
+
+    def test_ntpot_charges_queueing_unlike_itl(self):
+        report = run_load_test(_dep(), rate_rps=8.0, num_requests=16, seed=0)
+        # NTPOT folds TTFT (queueing + prefill) into every token; ITL
+        # only sees decode gaps, so NTPOT must sit above it.
+        assert report.ntpot_mean_s > report.itl_mean_s
+
+    def test_failure_rate_counts_unfinished(self):
+        from repro.runtime.loadgen import summarize_requests
+
+        reqs = [self._finished(2.0, 10), GenerationRequest(100, 10)]
+        report = summarize_requests(reqs, makespan_s=2.0, offered_rate_rps=1.0)
+        assert report.failure_rate == pytest.approx(0.5)
+        assert report.completed_requests == 1
+
+    def test_all_failed_run_reports_nan_ntpot(self):
+        from repro.runtime.loadgen import summarize_requests
+
+        reqs = [GenerationRequest(100, 10), GenerationRequest(100, 10)]
+        report = summarize_requests(reqs, makespan_s=1.0, offered_rate_rps=1.0)
+        assert report.failure_rate == 1.0
+        assert report.ntpot_mean_s != report.ntpot_mean_s  # NaN
+
+    def test_clean_run_has_zero_failure_rate(self):
+        report = run_load_test(_dep(), rate_rps=2.0, num_requests=8, seed=0)
+        assert report.failure_rate == 0.0
+
+    def test_render_shows_ntpot_and_failures(self):
+        from repro.runtime.loadgen import summarize_requests
+
+        reqs = [self._finished(2.0, 10), GenerationRequest(100, 10)]
+        report = summarize_requests(reqs, makespan_s=2.0, offered_rate_rps=1.0)
+        text = report.render()
+        assert "NTPOT" in text
+        assert "50% failed" in text

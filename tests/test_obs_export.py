@@ -62,6 +62,21 @@ class TestChromeTrace:
         assert doc["traceEvents"][0]["name"] == "process_name"
         json.dumps(doc)  # serializable
 
+    def test_profile_counters_get_namespaced_lanes(self):
+        # Cluster traces merge many replicas into one file; profile
+        # counters must export as "profile/<name>" so each replica pid
+        # gets distinct utilization lanes instead of colliding tracks.
+        tracer = EventTracer()
+        tracer.counter("profile", "mfu", ts_s=0.0, value=0.31)
+        tracer.counter("power_sample", "power_w", ts_s=0.0, watts=300.0)
+        doc = to_chrome_trace(tracer.events)
+        payload = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in payload}
+        assert "profile/mfu" in names
+        assert "power_w" in names  # non-profile counters untouched
+        mfu = next(e for e in payload if e["name"] == "profile/mfu")
+        assert mfu["cat"] == "profile"
+
 
 class TestSummary:
     def test_span_aggregation_sorted_by_time(self):

@@ -1,5 +1,6 @@
 """Tests for the metrics registry (repro.obs.metrics)."""
 
+import json
 import math
 
 import numpy as np
@@ -9,6 +10,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsSnapshot,
     percentile,
 )
 
@@ -132,3 +134,53 @@ class TestSnapshot:
         text = registry.snapshot().render()
         assert "p50" in text and "p90" in text and "p99" in text
         assert "ttft_s" in text
+
+
+class TestSnapshotRoundTrip:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("admitted").inc(5)
+        registry.gauge("depth").set(2, ts_s=0.0)
+        registry.gauge("depth").set(4, ts_s=1.0)
+        hist = registry.histogram("ttft_s")
+        for v in (0.1, 0.2, 0.3):
+            hist.record(v)
+        return registry.snapshot()
+
+    def test_round_trip_is_lossless(self):
+        snap = self._snapshot()
+        rebuilt = MetricsSnapshot.from_json_dict(snap.to_json_dict())
+        assert rebuilt.to_json_dict() == snap.to_json_dict()
+
+    def test_round_trip_through_json_text(self):
+        snap = self._snapshot()
+        payload = json.loads(json.dumps(snap.to_json_dict()))
+        rebuilt = MetricsSnapshot.from_json_dict(payload)
+        assert rebuilt.to_json_dict() == snap.to_json_dict()
+
+    def test_integer_gauge_samples_stay_integers(self):
+        # Byte-identical bundle replay depends on 4 not becoming 4.0.
+        snap = self._snapshot()
+        rebuilt = MetricsSnapshot.from_json_dict(snap.to_json_dict())
+        assert rebuilt.gauges["depth"].maximum == 4
+        assert isinstance(rebuilt.gauges["depth"].maximum, int)
+
+    def test_nan_round_trips_via_null(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_s")  # no samples: NaN percentiles
+        snap = registry.snapshot()
+        payload = snap.to_json_dict()
+        assert payload["histograms"]["empty_s"]["p50"] is None
+        rebuilt = MetricsSnapshot.from_json_dict(
+            json.loads(json.dumps(payload))
+        )
+        assert math.isnan(rebuilt.histograms["empty_s"].p50)
+        assert rebuilt.to_json_dict() == payload
+
+    def test_histogram_stats_preserved(self):
+        snap = self._snapshot()
+        rebuilt = MetricsSnapshot.from_json_dict(snap.to_json_dict())
+        hist = rebuilt.histograms["ttft_s"]
+        assert hist.count == 3
+        assert hist.p50 == pytest.approx(0.2)
+        assert hist.bucket_counts == snap.histograms["ttft_s"].bucket_counts

@@ -1,0 +1,131 @@
+"""Tests for profile diffing and ProfileReport JSON round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    WorkloadSpec,
+    diff_profiles,
+    diff_replicated_profiles,
+    run_replication,
+)
+from repro.obs.profiler import ProfileReport
+
+
+def profiled_spec(name: str, seeds=(0, 1, 2), **overrides) -> ExperimentSpec:
+    base = dict(
+        name=name,
+        model="llama-2-7b",
+        hardware="h100",
+        framework="vllm",
+        workload=WorkloadSpec(
+            kind="open_loop",
+            num_requests=8,
+            input_tokens=128,
+            output_tokens=48,
+            rate_rps=4.0,
+        ),
+        seeds=seeds,
+        profiled=True,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def fp16_profiles():
+    report = run_replication(profiled_spec("fp16"))
+    return [sr.profile for sr in report.seed_results]
+
+
+@pytest.fixture(scope="module")
+def fp8_profiles():
+    report = run_replication(profiled_spec("fp8", quant="fp8"))
+    return [sr.profile for sr in report.seed_results]
+
+
+class TestProfileRoundTrip:
+    def test_json_round_trip_is_lossless(self, fp16_profiles):
+        profile = fp16_profiles[0]
+        rebuilt = ProfileReport.from_json_dict(profile.to_json_dict())
+        a = json.dumps(profile.to_json_dict(), sort_keys=True)
+        b = json.dumps(rebuilt.to_json_dict(), sort_keys=True)
+        assert a == b
+
+    def test_round_trip_preserves_phases(self, fp16_profiles):
+        profile = fp16_profiles[0]
+        rebuilt = ProfileReport.from_json_dict(profile.to_json_dict())
+        assert [p.phase for p in rebuilt.phases] == [
+            p.phase for p in profile.phases
+        ]
+        for orig, back in zip(profile.phases, rebuilt.phases):
+            assert back.dominant == orig.dominant
+            assert back.components.as_dict() == pytest.approx(
+                orig.components.as_dict()
+            )
+
+
+class TestDiffProfiles:
+    def test_self_diff_is_flat(self, fp16_profiles):
+        diff = diff_profiles(fp16_profiles[0], fp16_profiles[0])
+        for delta in diff.metrics:
+            assert delta.delta == 0.0 or math.isnan(delta.delta)
+        assert not any(p.bottleneck_changed for p in diff.phases)
+        assert "matches" in diff.verdict
+        assert "descriptive only" in diff.verdict
+
+    def test_quant_diff_moves_energy(self, fp16_profiles, fp8_profiles):
+        diff = diff_profiles(fp16_profiles[0], fp8_profiles[0])
+        jpt = diff.metric("joules_per_token")
+        assert jpt.b < jpt.a  # FP8 moves fewer bytes per token
+        assert jpt.significant() is None  # single profiles: no test attached
+
+    def test_phase_shares_sum_to_one(self, fp16_profiles, fp8_profiles):
+        diff = diff_profiles(fp16_profiles[0], fp8_profiles[0])
+        for phase in diff.phases:
+            assert sum(phase.share_a.values()) == pytest.approx(1.0)
+            assert sum(phase.share_b.values()) == pytest.approx(1.0)
+
+    def test_render_and_json(self, fp16_profiles, fp8_profiles):
+        diff = diff_profiles(fp16_profiles[0], fp8_profiles[0])
+        text = diff.render()
+        assert "joules_per_token" in text
+        payload = diff.to_json_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_metric_raises(self, fp16_profiles):
+        diff = diff_profiles(fp16_profiles[0], fp16_profiles[0])
+        with pytest.raises(KeyError):
+            diff.metric("flops_per_dollar")
+
+
+class TestDiffReplicatedProfiles:
+    def test_aa_not_significant(self, fp16_profiles):
+        diff = diff_replicated_profiles(
+            fp16_profiles, fp16_profiles, paired=True
+        )
+        assert diff.replicated
+        for delta in diff.metrics:
+            assert delta.significant() is not True
+        assert "no metric significant" in diff.verdict
+
+    def test_ab_quant_significant(self, fp16_profiles, fp8_profiles):
+        diff = diff_replicated_profiles(
+            fp16_profiles, fp8_profiles, paired=True
+        )
+        jpt = diff.metric("joules_per_token")
+        assert jpt.significant() is True
+        assert "significant at p<0.05" in diff.verdict
+
+    def test_unpaired_uses_welch(self, fp16_profiles, fp8_profiles):
+        diff = diff_replicated_profiles(fp16_profiles, fp8_profiles)
+        jpt = diff.metric("joules_per_token")
+        assert jpt.test is not None
+        assert jpt.test.test == "welch-t"
+
+    def test_requires_profiles(self):
+        with pytest.raises(ValueError):
+            diff_replicated_profiles([], [])
