@@ -38,6 +38,7 @@ from repro.models import get_model, list_models
 from repro.obs import EventTracer, MetricsRegistry, NULL_TRACER, Tracer
 from repro.perf import Deployment, InferenceEstimator, ParallelismPlan
 from repro.runtime import ServingEngine, fixed_batch_trace
+from repro.scenarios import Scenario, get_scenario, list_scenarios
 
 __version__ = "1.0.0"
 
@@ -70,6 +71,9 @@ __all__ = [
     "ParallelismPlan",
     "ServingEngine",
     "fixed_batch_trace",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
     "EventTracer",
     "MetricsRegistry",
     "NULL_TRACER",

@@ -15,7 +15,10 @@ trajectory across PRs:
   kernel shared across the fleet;
 * **profiler_overhead** — the same engine run unprofiled vs with the
   cost-attribution profiler on (``speedup`` < 1 reports the overhead of
-  ``profile=True``; the CI gate stays on the unprofiled iteration rate).
+  ``profile=True``; the CI gate stays on the unprofiled iteration rate);
+* **scenario_trace** — building a :mod:`repro.scenarios` request trace
+  (arrivals, multi-turn sessions, length sampling), cold vs warm, so
+  trace-generation cost is tracked alongside the simulator hot paths.
 
 Every pair is checked for agreement before timings are reported — a
 benchmark that got faster by computing something else is a bug, not a win.
@@ -275,8 +278,42 @@ def _bench_profiler_overhead(
     }
 
 
+def _bench_scenario_trace(reduced: bool, repeats: int) -> dict[str, float]:
+    """Cost of building a scenario trace (arrivals, turns, lengths, tenants).
+
+    Trace generation sits upstream of every scenario run and experiment
+    replication, so its cost is tracked like the simulator hot paths.
+    There is no before/after pair here — ``before_s`` is the cold first
+    build, ``after_s`` the steady-state best-of, so the record still fits
+    the harness schema and ``speedup`` reports warm-up amortization.  Two
+    same-seed builds are checked identical first (the determinism
+    contract the replay CI gate depends on).
+    """
+    from repro.scenarios import get_scenario, trace_json_dicts
+
+    scenario = get_scenario("chat-sharegpt").with_sessions(64 if reduced else 256)
+
+    if trace_json_dicts(scenario.build(seed=5)) != trace_json_dicts(
+        scenario.build(seed=5)
+    ):
+        raise AssertionError("same-seed scenario builds diverged")
+
+    start = time.perf_counter()
+    requests = scenario.build(seed=5)
+    before = time.perf_counter() - start
+    after = _best_of(lambda: scenario.build(seed=5), repeats)
+    return {
+        "sessions": float(scenario.num_sessions),
+        "requests": float(len(requests)),
+        "before_s": before,
+        "after_s": after,
+        "requests_per_s": len(requests) / after,
+        "speedup": before / after,
+    }
+
+
 def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
-    """Run the five before/after benchmarks and assemble a report."""
+    """Run the six before/after benchmarks and assemble a report."""
     if repeats is None:
         repeats = 2 if reduced else 3
     dep = _reference_deployment()
@@ -289,6 +326,7 @@ def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchRe
         "profiler_overhead": _bench_profiler_overhead(
             dep, kernel, reduced, repeats
         ),
+        "scenario_trace": _bench_scenario_trace(reduced, repeats),
     }
     return BenchReport(
         date=datetime.date.today().isoformat(),

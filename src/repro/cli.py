@@ -261,6 +261,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run; write the merged fleet ProfileReport JSON",
     )
 
+    scen_p = sub.add_parser(
+        "scenario",
+        help="production traffic scenarios: list, describe, run",
+    )
+    scen_sub = scen_p.add_subparsers(dest="verb", required=True)
+
+    scen_sub.add_parser("list", help="list the built-in scenario catalog")
+
+    scen_describe = scen_sub.add_parser(
+        "describe", help="show one scenario's composition and a trace preview"
+    )
+    scen_describe.add_argument("name", help="scenario name (see `scenario list`)")
+    scen_describe.add_argument("--seed", type=int, default=0,
+                               help="seed for the trace preview")
+    scen_describe.add_argument(
+        "--trace-output", default=None, metavar="PATH",
+        help="write the built request trace as deterministic JSON",
+    )
+
+    scen_run = scen_sub.add_parser(
+        "run", help="run a scenario trace through a serving cluster"
+    )
+    scen_run.add_argument("name", help="scenario name (see `scenario list`)")
+    scen_run.add_argument("--model", default="LLaMA-3-8B")
+    scen_run.add_argument("--hardware", default="A100")
+    scen_run.add_argument("--framework", default="vLLM")
+    scen_run.add_argument("--replicas", type=int, default=4)
+    scen_run.add_argument("--router", default="session-affinity",
+                          choices=list_routers())
+    scen_run.add_argument("--seed", type=int, default=0,
+                          help="RNG seed for the trace and routing")
+    scen_run.add_argument("--sessions", type=int, default=None, metavar="N",
+                          help="override the scenario's session count")
+    scen_run.add_argument("--max-concurrency", type=int, default=32)
+    scen_run.add_argument("--prefix-cache-slots", type=int, default=8,
+                          help="per-replica prefix/session KV LRU slots")
+    scen_run.add_argument(
+        "--result-output", default=None, metavar="PATH",
+        help="write the deterministic ClusterResult JSON here",
+    )
+
     exp_p = sub.add_parser(
         "experiment",
         help="replicated experiments: run, replay, compare, profile-diff",
@@ -499,9 +540,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.dashboard import write_dashboard
+    from repro.scenarios import list_scenarios
 
     results = run_all()
-    path = write_dashboard(results, args.output)
+    path = write_dashboard(results, args.output, scenarios=list_scenarios())
     print(f"wrote {path}")
     return 0
 
@@ -761,6 +803,80 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario, list_scenarios, trace_json_dicts
+
+    if args.verb == "list":
+        print(f"{'scenario':<20}{'sessions':>9}  composition")
+        for scenario in list_scenarios():
+            composition = (
+                f"{scenario.arrival.describe()} | "
+                f"{scenario.lengths.describe()} | "
+                f"{scenario.sessions.describe()}"
+            )
+            if scenario.tenants:
+                composition += f" | {len(scenario.tenants)} tenants"
+            print(f"{scenario.name:<20}{scenario.num_sessions:>9}  {composition}")
+        return 0
+
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+
+    if args.verb == "describe":
+        print(scenario.describe())
+        trace = scenario.build(args.seed)
+        tagged = sum(1 for r in trace if r.tenant is not None)
+        multi = sum(1 for r in trace if r.turn_index > 0)
+        span = trace[-1].arrival_time - trace[0].arrival_time
+        print(
+            f"  trace (seed {args.seed}): {len(trace)} requests over "
+            f"{span:.1f} s, {multi} follow-up turns, {tagged} tenant-tagged"
+        )
+        if args.trace_output:
+            _write_json(args.trace_output, trace_json_dicts(trace))
+            print(f"wrote {args.trace_output}")
+        return 0
+
+    from repro.cluster import ClusterSimulator, get_router
+    from repro.runtime.memory_manager import OutOfMemoryError
+
+    if args.sessions is not None:
+        scenario = scenario.with_sessions(args.sessions)
+    trace = scenario.build(args.seed)
+    runner = BenchmarkRunner(use_engine=True)
+    dep = runner.deployment(args.model, args.hardware, args.framework)
+    simulator = ClusterSimulator(
+        dep,
+        args.replicas,
+        router=get_router(args.router, seed=args.seed),
+        max_concurrency=args.max_concurrency,
+        prefix_cache_slots=args.prefix_cache_slots,
+    )
+    try:
+        result = simulator.run(trace)
+    except OutOfMemoryError as exc:
+        print(f"OOM: {exc}")
+        return 1
+    span = trace[-1].arrival_time - trace[0].arrival_time
+    offered = len(trace) / span if span > 0 else float(len(trace))
+    print(
+        f"{scenario.name}: {dep.model.name} / {dep.hardware.name} "
+        f"x{dep.num_devices} / {dep.framework.name}"
+    )
+    print(result.render())
+    print(
+        result.load_report(offered, tenant_slos=scenario.tenant_slos() or None)
+        .render()
+    )
+    if args.result_output:
+        _write_json(args.result_output, result.to_json_dict())
+        print(f"wrote {args.result_output}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perfbench import (
         check_regression,
@@ -918,6 +1034,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "experiment":

@@ -19,6 +19,7 @@ from repro.cluster.router import (
     PrefixAffinityRouter,
     RoundRobinRouter,
     Router,
+    SessionAffinityRouter,
     get_router,
     list_routers,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "ROUTER_NAMES",
     "RoundRobinRouter",
     "Router",
+    "SessionAffinityRouter",
     "get_router",
     "kv_transfer_time",
     "list_routers",

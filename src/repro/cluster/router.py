@@ -22,6 +22,10 @@ touch no per-request state at all.
 * **prefix-affinity** — send repeats of a shared prompt prefix to the
   replica already holding its KV blocks (KV-cache-aware routing); falls
   back to least-outstanding for first-seen prefixes.
+* **session-affinity** — pin each multi-turn conversation
+  (:mod:`repro.scenarios` sessions) to the replica that served its
+  earlier turns, so the session's accumulated KV stays hot; re-pins
+  gracefully when the home replica crashes or drains.
 
 Routers are deterministic given their seed, so cluster simulations are
 reproducible end to end.
@@ -45,6 +49,7 @@ __all__ = [
     "LeastOutstandingTokensRouter",
     "PowerOfTwoChoicesRouter",
     "PrefixAffinityRouter",
+    "SessionAffinityRouter",
     "ROUTER_NAMES",
     "get_router",
     "list_routers",
@@ -168,6 +173,54 @@ class PrefixAffinityRouter(Router):
         return chosen
 
 
+class SessionAffinityRouter(Router):
+    """Session-sticky routing: a conversation's turns stay on one replica.
+
+    Multi-turn sessions (:mod:`repro.scenarios`) grow their KV turn over
+    turn — turn N's prompt extends turn N-1's context — so the session's
+    accumulated KV is only reusable on the replica that served the
+    earlier turns.  The first turn picks the least-loaded replica and
+    records it as the session's home; later turns follow it.
+
+    Reassignment is graceful: when the home replica leaves the eligible
+    pool (crashed, draining, role change), the session re-pins to the
+    least-loaded survivor and ``reassignments`` counts the move — the
+    session's KV is rebuilt there by the normal prefix-miss path rather
+    than lost.  Sessionless requests key on ``prefix_id`` when present,
+    else fall back to least-outstanding.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._home: dict[tuple[str, int], int] = {}  # key -> replica index
+        self.reassignments = 0
+
+    @staticmethod
+    def _key(request: GenerationRequest) -> tuple[str, int] | None:
+        if request.session_id is not None:
+            return ("session", request.session_id)
+        if request.prefix_id is not None:
+            return ("prefix", request.prefix_id)
+        return None
+
+    def route(self, request, replicas, now):
+        self._require(replicas)
+        key = self._key(request)
+        if key is None:
+            return _least_outstanding(replicas)
+        home = self._home.get(key)
+        if home is not None:
+            for replica in replicas:
+                if replica.index == home:
+                    return replica
+            self.reassignments += 1
+        chosen = _least_outstanding(replicas)
+        self._home[key] = chosen.index
+        return chosen
+
+
 ROUTER_NAMES: dict[str, type[Router]] = {
     cls.name: cls
     for cls in (
@@ -175,6 +228,7 @@ ROUTER_NAMES: dict[str, type[Router]] = {
         LeastOutstandingTokensRouter,
         PowerOfTwoChoicesRouter,
         PrefixAffinityRouter,
+        SessionAffinityRouter,
     )
 }
 

@@ -183,6 +183,7 @@ class ClusterResult:
         self,
         offered_rate_rps: float,
         slo: ServiceLevelObjective | None = None,
+        tenant_slos: dict[str, ServiceLevelObjective] | None = None,
     ) -> LoadReport:
         """Cluster-scope SLO/goodput accounting (same path as one engine)."""
         return summarize_requests(
@@ -191,6 +192,7 @@ class ClusterResult:
             offered_rate_rps,
             slo=slo,
             average_power_w=self.average_power_w,
+            tenant_slos=tenant_slos,
         )
 
     def to_json_dict(self) -> dict:
@@ -232,6 +234,9 @@ class ClusterResult:
                     "finish_s": r.finish_time,
                     "state": r.state,
                     "preemptions": r.preemptions,
+                    "session": r.session_id,
+                    "turn": r.turn_index,
+                    "tenant": r.tenant,
                 }
                 for r in self.requests
             ],
@@ -623,8 +628,10 @@ class ClusterSimulator:
         self._sample_gauges(self._replicas, now)
         chosen = self.router.route(request, pool, now)
         cached = 0
-        if request.prefix_id is not None and request.prefix_tokens > 0:
-            if chosen.touch_prefix(request.prefix_id):
+        if request.prefix_id is not None:
+            # Touch even when prefix_tokens == 0 (a session's opening turn)
+            # so the prefix enters the replica's LRU and later turns hit.
+            if chosen.touch_prefix(request.prefix_id) and request.prefix_tokens > 0:
                 cached = request.prefix_tokens
                 self._prefix_hits += 1
         chosen.served.append(request)

@@ -96,6 +96,14 @@ class GenerationRequest:
     prefix_id: int | None = None
     prefix_tokens: int = 0
     cached_prefix_tokens: int = 0
+    # Scenario identity (:mod:`repro.scenarios`): multi-turn conversations
+    # carry a ``session_id`` shared by all their turns (turn N's prompt
+    # extends turn N-1's context, so the session's KV is the reusable
+    # prefix) and a 0-based ``turn_index``.  ``tenant`` names the traffic
+    # class for per-tenant SLO accounting; ``None`` means untagged.
+    session_id: int | None = None
+    turn_index: int = 0
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1:
@@ -113,6 +121,8 @@ class GenerationRequest:
                 "cached_prefix_tokens must be in [0, prefix_tokens], got "
                 f"{self.cached_prefix_tokens}"
             )
+        if self.turn_index < 0:
+            raise ValueError(f"turn_index must be >= 0, got {self.turn_index}")
 
     @property
     def context_length(self) -> int:

@@ -7,6 +7,7 @@ from repro.dashboard.html import (
     metrics_section_html,
     profile_section_html,
     replication_section_html,
+    scenarios_section_html,
     write_dashboard,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "metrics_section_html",
     "profile_section_html",
     "replication_section_html",
+    "scenarios_section_html",
     "write_dashboard",
 ]

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.compare import ComparisonReport
     from repro.experiments.runner import ReplicationReport
     from repro.obs.profiler import ProfileReport
+    from repro.runtime.loadgen import LoadReport
+    from repro.scenarios import Scenario
 
 __all__ = [
     "dashboard_html",
@@ -30,6 +32,7 @@ __all__ = [
     "profile_section_html",
     "replication_section_html",
     "comparison_section_html",
+    "scenarios_section_html",
 ]
 
 _PAGE = """<!DOCTYPE html>
@@ -445,6 +448,60 @@ def comparison_section_html(
     return "\n".join(parts)
 
 
+def scenarios_section_html(
+    scenarios: "list[Scenario]", load: "LoadReport | None" = None
+) -> str:
+    """Static HTML fragment for the scenario catalog.
+
+    One row per scenario (arrivals, lengths, sessions, tenant count);
+    ``load`` (optional, from a scenario run) appends the per-tenant SLO
+    lanes so multi-tenant attainment gaps are visible at a glance.
+    NaN lanes (a tenant that completed nothing) render as dashes.
+    Embeddable via ``dashboard_html``'s ``scenarios`` argument.
+    """
+    import math as _math
+
+    parts = ["<h2>Traffic scenarios</h2>"]
+    parts.append(
+        "<p class='note'>Named, seed-deterministic production traffic "
+        "shapes (<code>repro.scenarios</code>); run with "
+        "<code>scenario run &lt;name&gt;</code>.</p>"
+    )
+    parts.append(
+        "<table class='data'><tr><th>scenario</th><th>sessions</th>"
+        "<th>arrivals</th><th>lengths</th><th>sessions model</th>"
+        "<th>tenants</th></tr>"
+    )
+    for scenario in scenarios:
+        parts.append(
+            f"<tr><td>{html.escape(scenario.name)}</td>"
+            f"<td>{scenario.num_sessions}</td>"
+            f"<td>{html.escape(scenario.arrival.describe())}</td>"
+            f"<td>{html.escape(scenario.lengths.describe())}</td>"
+            f"<td>{html.escape(scenario.sessions.describe())}</td>"
+            f"<td>{len(scenario.tenants) or '&mdash;'}</td></tr>"
+        )
+    parts.append("</table>")
+    if load is not None and load.tenants:
+        fmt = lambda v: f"{v:.4g}" if _math.isfinite(v) else "&mdash;"  # noqa: E731
+        parts.append(
+            "<table class='data'><tr><th>tenant</th><th>requests</th>"
+            "<th>SLO attainment</th><th>TTFT p95 (s)</th>"
+            "<th>NTPOT (s)</th><th>failure rate</th></tr>"
+        )
+        for lane in load.tenants:
+            parts.append(
+                f"<tr><td>{html.escape(lane.tenant)}</td>"
+                f"<td>{lane.requests}</td>"
+                f"<td>{lane.slo_attainment:.0%}</td>"
+                f"<td>{fmt(lane.ttft_p95_s)}</td>"
+                f"<td>{fmt(lane.ntpot_mean_s)}</td>"
+                f"<td>{lane.failure_rate:.0%}</td></tr>"
+            )
+        parts.append("</table>")
+    return "\n".join(parts)
+
+
 def dashboard_html(
     results: list[ExperimentResult],
     metrics: MetricsSnapshot | None = None,
@@ -452,6 +509,7 @@ def dashboard_html(
     profile: "ProfileReport | None" = None,
     replication: "ReplicationReport | None" = None,
     comparison: "ComparisonReport | None" = None,
+    scenarios: "list[Scenario] | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
@@ -462,7 +520,8 @@ def dashboard_html(
     attribution section (roofline shares, MFU/MBU/energy counters);
     ``replication`` and ``comparison`` (optional) append the
     confidence-interval and A/B-significance sections from
-    :mod:`repro.experiments`.
+    :mod:`repro.experiments`; ``scenarios`` (optional) appends the
+    traffic-scenario catalog from :mod:`repro.scenarios`.
     """
     if not results:
         raise ValueError("no results to render")
@@ -499,6 +558,10 @@ def dashboard_html(
         metrics_html += (
             "\n" if metrics_html else ""
         ) + comparison_section_html(comparison)
+    if scenarios is not None:
+        metrics_html += (
+            "\n" if metrics_html else ""
+        ) + scenarios_section_html(scenarios)
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -510,6 +573,7 @@ def write_dashboard(
     profile: "ProfileReport | None" = None,
     replication: "ReplicationReport | None" = None,
     comparison: "ComparisonReport | None" = None,
+    scenarios: "list[Scenario] | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
@@ -521,6 +585,7 @@ def write_dashboard(
             profile=profile,
             replication=replication,
             comparison=comparison,
+            scenarios=scenarios,
         ),
         encoding="utf-8",
     )

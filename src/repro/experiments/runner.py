@@ -105,12 +105,21 @@ def _extract_metrics(
     profile: ProfileReport | None,
 ) -> dict[str, float]:
     slo = ServiceLevelObjective(ttft_s=spec.slo_ttft_s, itl_s=spec.slo_itl_s)
+    offered = spec.workload.rate_rps
+    if spec.workload.kind == "scenario":
+        # Scenario arrivals come from the catalog, not rate_rps: report
+        # the trace's realized rate instead.
+        span = max(r.arrival_time for r in requests) - min(
+            r.arrival_time for r in requests
+        )
+        offered = len(requests) / span if span > 0 else float(len(requests))
     report = summarize_requests(
         requests,
         makespan_s,
-        spec.workload.rate_rps,
+        offered,
         slo=slo,
         average_power_w=average_power_w,
+        tenant_slos=spec.workload.tenant_slos() or None,
     )
     e2e = _e2e_latencies(requests)
     if e2e:
@@ -135,6 +144,10 @@ def _extract_metrics(
         "makespan_s": makespan_s,
         "average_power_w": average_power_w,
     }
+    for lane in report.tenants:
+        metrics[f"tenant.{lane.tenant}.slo_attainment"] = lane.slo_attainment
+        metrics[f"tenant.{lane.tenant}.ntpot_mean_s"] = lane.ntpot_mean_s
+        metrics[f"tenant.{lane.tenant}.failure_rate"] = lane.failure_rate
     if profile is not None:
         metrics["mfu"] = profile.mfu
         metrics["mbu"] = profile.mbu

@@ -43,7 +43,7 @@ QUANT_SCHEMES: dict[str, QuantizationScheme] = {
     "int8": INT8_SCHEME,
 }
 
-_WORKLOAD_KINDS = ("fixed", "poisson", "open_loop", "shared_prefix")
+_WORKLOAD_KINDS = ("fixed", "poisson", "open_loop", "shared_prefix", "scenario")
 _MODES = ("engine", "cluster")
 
 
@@ -56,6 +56,11 @@ class WorkloadSpec:
     entirely (the paper's benchmark shape is deterministic), so
     replications of a fixed workload have zero cross-seed variance — the
     stats layer treats that as a constant sample, not an error.
+
+    ``kind="scenario"`` delegates to a named catalog entry from
+    :mod:`repro.scenarios` (``scenario`` field); the registry's scenario
+    definition plus the seed fully determine the trace, and the other
+    shape parameters are ignored.
     """
 
     kind: str = "open_loop"
@@ -65,11 +70,19 @@ class WorkloadSpec:
     rate_rps: float = 4.0  # arrival rate for the open-loop kinds
     num_prefixes: int = 4  # shared_prefix only
     prefix_tokens: int = 256  # shared_prefix only
+    scenario: str | None = None  # scenario kind only: catalog name
 
     def __post_init__(self) -> None:
         if self.kind not in _WORKLOAD_KINDS:
             known = ", ".join(_WORKLOAD_KINDS)
             raise ValueError(f"unknown workload kind {self.kind!r} (known: {known})")
+        if self.kind == "scenario":
+            if not self.scenario:
+                raise ValueError("kind='scenario' requires a scenario name")
+            from repro.scenarios import get_scenario
+
+            get_scenario(self.scenario)  # fail fast on unknown names
+            return
         if self.num_requests < 1:
             raise ValueError(f"num_requests must be >= 1, got {self.num_requests}")
         if self.input_tokens < 1 or self.output_tokens < 1:
@@ -77,7 +90,19 @@ class WorkloadSpec:
         if self.kind != "fixed" and self.rate_rps <= 0:
             raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
 
+    def tenant_slos(self) -> dict[str, object]:
+        """Per-tenant SLOs of a scenario workload (empty otherwise)."""
+        if self.kind != "scenario":
+            return {}
+        from repro.scenarios import get_scenario
+
+        return get_scenario(self.scenario).tenant_slos()  # type: ignore[arg-type]
+
     def build(self, seed: int) -> list[GenerationRequest]:
+        if self.kind == "scenario":
+            from repro.scenarios import get_scenario
+
+            return get_scenario(self.scenario).build(seed)  # type: ignore[arg-type]
         if self.kind == "fixed":
             return fixed_batch_trace(
                 self.num_requests, self.input_tokens, self.output_tokens

@@ -9,6 +9,7 @@ from repro.runtime.engine import EngineResult, EngineRun, ServingEngine
 from repro.runtime.loadgen import (
     LoadReport,
     ServiceLevelObjective,
+    TenantReport,
     find_max_sustainable_rate,
     run_load_test,
     summarize_requests,
@@ -40,6 +41,7 @@ __all__ = [
     "EngineRun",
     "LoadReport",
     "ServiceLevelObjective",
+    "TenantReport",
     "find_max_sustainable_rate",
     "run_load_test",
     "summarize_requests",

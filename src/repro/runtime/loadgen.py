@@ -22,6 +22,7 @@ from repro.runtime.workload import open_loop_trace
 
 __all__ = [
     "ServiceLevelObjective",
+    "TenantReport",
     "LoadReport",
     "summarize_requests",
     "run_load_test",
@@ -70,6 +71,34 @@ class ServiceLevelObjective:
 
 
 @dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant SLO accounting lane inside a :class:`LoadReport`.
+
+    Each tenant (a traffic class from a :mod:`repro.scenarios` mix) is
+    judged against its *own* SLO.  A tenant that completed zero requests
+    reports NaN latency lanes and zero attainment rather than raising, so
+    mixed-outcome sweeps aggregate cleanly.
+    """
+
+    tenant: str
+    requests: int
+    completed_requests: int
+    slo_attainment: float
+    ntpot_mean_s: float
+    ttft_p95_s: float
+    failure_rate: float
+
+    def render(self) -> str:
+        return (
+            f"tenant {self.tenant}: {self.requests} req | "
+            f"{self.slo_attainment:.0%} SLO | "
+            f"TTFT p95 {self.ttft_p95_s:.2f}s | "
+            f"NTPOT {self.ntpot_mean_s * 1e3:.1f}ms | "
+            f"{self.failure_rate:.0%} failed"
+        )
+
+
+@dataclass(frozen=True)
 class LoadReport:
     """Aggregate statistics of one load-test run."""
 
@@ -91,6 +120,8 @@ class LoadReport:
     # nothing finished.
     ntpot_mean_s: float = float("nan")
     failure_rate: float = 0.0  # fraction of requests that never finished
+    # Per-tenant lanes (scenario traffic mixes); empty for untagged runs.
+    tenants: tuple[TenantReport, ...] = ()
 
     def render(self) -> str:
         line = (
@@ -105,7 +136,43 @@ class LoadReport:
         )
         if self.failure_rate > 0:
             line += f" | {self.failure_rate:.0%} failed"
+        if self.tenants:
+            line = "\n".join([line, *(t.render() for t in self.tenants)])
         return line
+
+
+def _tenant_report(
+    tenant: str,
+    requests: list[GenerationRequest],
+    slo: ServiceLevelObjective,
+) -> TenantReport:
+    """One tenant's lane, NaN-safe when the tenant completed nothing."""
+    completed = [r for r in requests if r.first_token_time is not None]
+    finished = [r for r in completed if r.finish_time is not None]
+    if completed:
+        ttft_p95 = float(np.percentile(sorted(r.ttft_s for r in completed), 95))
+    else:
+        ttft_p95 = float("nan")
+    ntpots = [
+        r.end_to_end_latency_s / r.output_tokens
+        for r in finished
+        if r.output_tokens > 0
+    ]
+    return TenantReport(
+        tenant=tenant,
+        requests=len(requests),
+        completed_requests=len(finished),
+        slo_attainment=(
+            sum(1 for r in requests if slo.met_by(r)) / len(requests)
+            if requests
+            else 0.0
+        ),
+        ntpot_mean_s=sum(ntpots) / len(ntpots) if ntpots else float("nan"),
+        ttft_p95_s=ttft_p95,
+        failure_rate=(
+            1.0 - len(finished) / len(requests) if requests else 0.0
+        ),
+    )
 
 
 def summarize_requests(
@@ -114,6 +181,7 @@ def summarize_requests(
     offered_rate_rps: float,
     slo: ServiceLevelObjective | None = None,
     average_power_w: float = 0.0,
+    tenant_slos: dict[str, ServiceLevelObjective] | None = None,
 ) -> LoadReport:
     """Aggregate a finished (or failed) request set into a :class:`LoadReport`.
 
@@ -121,6 +189,12 @@ def summarize_requests(
     percentiles come back NaN (like ``EngineResult.mean_ttft_s``) instead
     of raising when nothing completed — an all-OOM run, a zero-arrival
     window — so sweeps over mixed outcomes never blow up mid-aggregation.
+
+    Tenant lanes appear when either ``tenant_slos`` names traffic classes
+    or requests carry ``tenant`` tags; each lane is judged against that
+    tenant's own SLO (falling back to the run-level ``slo``), and a
+    tenant with zero requests still gets a lane (NaN latencies) so
+    dashboards show the gap rather than silently dropping the class.
     """
     if not requests:
         raise ValueError("requests is empty")
@@ -149,6 +223,22 @@ def summarize_requests(
     ]
     ntpot_mean = sum(ntpots) / len(ntpots) if ntpots else float("nan")
 
+    tenant_names: list[str] = []
+    for r in requests:
+        if r.tenant is not None and r.tenant not in tenant_names:
+            tenant_names.append(r.tenant)
+    for name in sorted(tenant_slos or ()):
+        if name not in tenant_names:
+            tenant_names.append(name)
+    tenant_reports = tuple(
+        _tenant_report(
+            name,
+            [r for r in requests if r.tenant == name],
+            (tenant_slos or {}).get(name, slo),
+        )
+        for name in sorted(tenant_names)
+    )
+
     total_tokens = sum(r.input_tokens + r.generated_tokens for r in requests)
     met = sum(1 for r in requests if slo.met_by(r))
     return LoadReport(
@@ -167,6 +257,7 @@ def summarize_requests(
         average_power_w=average_power_w,
         ntpot_mean_s=ntpot_mean,
         failure_rate=1.0 - len(finished) / len(requests),
+        tenants=tenant_reports,
     )
 
 

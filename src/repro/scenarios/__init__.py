@@ -1,0 +1,84 @@
+"""Production scenario library: named, seed-deterministic traffic shapes.
+
+A :class:`Scenario` composes an arrival process, a length model, a
+session model, and an optional multi-tenant mix into a buildable request
+trace (``scenario.build(seed)``).  The built-in catalog
+(:data:`SCENARIOS`) ships seven production shapes; ``llm-inference-bench
+scenario list|describe|run`` and ``repro.experiments.WorkloadSpec``
+(``kind="scenario"``) consume them by name.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.arrival import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    arrival_from_json_dict,
+)
+from repro.scenarios.catalog import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.lengths import (
+    LENGTH_KINDS,
+    LengthModel,
+    LognormalLengths,
+    MixtureLengths,
+    agentic_tool_turns,
+    code_completion,
+    length_from_json_dict,
+    long_context_rag,
+    sharegpt_chat,
+)
+from repro.scenarios.scenario import Scenario, trace_json_dicts
+from repro.scenarios.sessions import (
+    SESSION_KINDS,
+    MultiTurnSessions,
+    SessionModel,
+    SingleShot,
+    session_from_json_dict,
+)
+from repro.scenarios.tenants import (
+    TenantSpec,
+    assign_tenants,
+    tenant_from_json_dict,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BurstArrivals",
+    "ConstantArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "PoissonArrivals",
+    "arrival_from_json_dict",
+    "LENGTH_KINDS",
+    "LengthModel",
+    "LognormalLengths",
+    "MixtureLengths",
+    "agentic_tool_turns",
+    "code_completion",
+    "length_from_json_dict",
+    "long_context_rag",
+    "sharegpt_chat",
+    "SESSION_KINDS",
+    "MultiTurnSessions",
+    "SessionModel",
+    "SingleShot",
+    "session_from_json_dict",
+    "TenantSpec",
+    "assign_tenants",
+    "tenant_from_json_dict",
+    "Scenario",
+    "trace_json_dicts",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]

@@ -1,0 +1,287 @@
+"""Arrival processes: when sessions open, as a seeded point process.
+
+The paper's benchmarks fire fixed batches at t=0; production traffic does
+not.  An :class:`ArrivalProcess` turns a count and a seeded RNG into the
+session-start instants of one scenario trace.  Beyond the constant and
+Poisson baselines, three time-varying processes cover the arrival shapes
+a serving fleet actually has to absorb:
+
+* **diurnal** — a sinusoidal rate envelope between a trough and a peak
+  (the day/night cycle, compressed onto the simulation clock);
+* **burst** — a square-wave envelope (periodic traffic spikes: cron
+  fan-out, retrain jobs, an IDE's completion keystrokes);
+* **flash-crowd** — a baseline rate that ramps to ``flash_factor`` times
+  itself at ``flash_at_s``, holds, then decays back (a launch, a viral
+  link) — the shape autoscaler tests exercise.
+
+Time-varying processes are non-homogeneous Poisson, sampled by Lewis's
+thinning: draw candidates at the envelope's peak rate, accept each with
+probability ``rate(t)/peak``.  Every draw comes from the one RNG the
+caller passes, so a (process, seed) pair always yields the same times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstArrivals",
+    "FlashCrowdArrivals",
+    "ARRIVAL_KINDS",
+    "arrival_from_json_dict",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Interface: subclasses generate ``n`` sorted arrival instants."""
+
+    kind = "base"
+
+    def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` nondecreasing arrival times (seconds), drawn from ``rng``."""
+        raise NotImplementedError
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous offered rate (req/s) at simulation time ``t``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human summary for catalog tables."""
+        raise NotImplementedError
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, **asdict(self)}
+
+    @staticmethod
+    def _check_count(n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1 arrivals, got {n}")
+
+    def _thinned(
+        self, n: int, rng: np.random.Generator, peak_rate: float
+    ) -> np.ndarray:
+        """Non-homogeneous Poisson times via thinning at ``peak_rate``."""
+        times = np.empty(n)
+        t = 0.0
+        accepted = 0
+        while accepted < n:
+            t += rng.exponential(1.0 / peak_rate)
+            if rng.random() * peak_rate <= self.rate_at(t):
+                times[accepted] = t
+                accepted += 1
+        return times
+
+
+@dataclass(frozen=True)
+class ConstantArrivals(ArrivalProcess):
+    """Evenly spaced arrivals at a fixed rate (the closed-loop pacer)."""
+
+    rate_rps: float = 2.0
+
+    kind = "constant"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
+
+    def times(self, n, rng):
+        self._check_count(n)
+        return np.arange(n) / self.rate_rps
+
+    def rate_at(self, t):
+        return self.rate_rps
+
+    def describe(self) -> str:
+        return f"constant {self.rate_rps:g} req/s"
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival gaps."""
+
+    rate_rps: float = 2.0
+
+    kind = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
+
+    def times(self, n, rng):
+        self._check_count(n)
+        return np.cumsum(rng.exponential(1.0 / self.rate_rps, size=n))
+
+    def rate_at(self, t):
+        return self.rate_rps
+
+    def describe(self) -> str:
+        return f"Poisson {self.rate_rps:g} req/s"
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night envelope between ``trough_rps`` and ``peak_rps``.
+
+    The cycle starts at the trough (simulated midnight) and peaks at
+    ``period_s / 2``; real days are compressed onto the simulation clock
+    by choosing a small ``period_s``.
+    """
+
+    trough_rps: float = 1.0
+    peak_rps: float = 6.0
+    period_s: float = 120.0
+
+    kind = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.trough_rps <= 0 or self.peak_rps < self.trough_rps:
+            raise ValueError("need 0 < trough_rps <= peak_rps")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+
+    def times(self, n, rng):
+        self._check_count(n)
+        return self._thinned(n, rng, self.peak_rps)
+
+    def rate_at(self, t):
+        phase = 2.0 * math.pi * (t / self.period_s)
+        # 0 at t=0, 1 at period/2: trough -> peak -> trough.
+        swing = 0.5 * (1.0 - math.cos(phase))
+        return self.trough_rps + (self.peak_rps - self.trough_rps) * swing
+
+    def describe(self) -> str:
+        return (
+            f"diurnal {self.trough_rps:g}-{self.peak_rps:g} req/s, "
+            f"period {self.period_s:g} s"
+        )
+
+
+@dataclass(frozen=True)
+class BurstArrivals(ArrivalProcess):
+    """Square-wave envelope: periodic spikes over a baseline rate.
+
+    Each ``period_s`` window opens with a burst lasting
+    ``burst_fraction`` of the period at ``base_rps * burst_factor``,
+    then falls back to ``base_rps``.
+    """
+
+    base_rps: float = 2.0
+    burst_factor: float = 5.0
+    period_s: float = 20.0
+    burst_fraction: float = 0.25
+
+    kind = "burst"
+
+    def __post_init__(self) -> None:
+        if self.base_rps <= 0:
+            raise ValueError(f"base_rps must be positive, got {self.base_rps}")
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError(
+                f"burst_fraction must be in (0, 1), got {self.burst_fraction}"
+            )
+
+    def times(self, n, rng):
+        self._check_count(n)
+        return self._thinned(n, rng, self.base_rps * self.burst_factor)
+
+    def rate_at(self, t):
+        in_burst = (t % self.period_s) < self.burst_fraction * self.period_s
+        return self.base_rps * (self.burst_factor if in_burst else 1.0)
+
+    def describe(self) -> str:
+        return (
+            f"bursts {self.base_rps:g}→{self.base_rps * self.burst_factor:g} "
+            f"req/s every {self.period_s:g} s"
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals(ArrivalProcess):
+    """A flash crowd: baseline, sudden ramp to a multiple, hold, decay.
+
+    Rate is ``base_rps`` until ``flash_at_s``, ramps linearly to
+    ``base_rps * flash_factor`` over ``ramp_s``, holds for ``hold_s``,
+    then decays linearly back over ``decay_s``.  The canonical
+    scale-up-now stimulus for autoscaler tests.
+    """
+
+    base_rps: float = 1.0
+    flash_at_s: float = 20.0
+    flash_factor: float = 8.0
+    ramp_s: float = 2.0
+    hold_s: float = 15.0
+    decay_s: float = 10.0
+
+    kind = "flash_crowd"
+
+    def __post_init__(self) -> None:
+        if self.base_rps <= 0:
+            raise ValueError(f"base_rps must be positive, got {self.base_rps}")
+        if self.flash_factor < 1.0:
+            raise ValueError(f"flash_factor must be >= 1, got {self.flash_factor}")
+        if self.flash_at_s < 0:
+            raise ValueError(f"flash_at_s must be >= 0, got {self.flash_at_s}")
+        if self.ramp_s <= 0 or self.hold_s < 0 or self.decay_s <= 0:
+            raise ValueError("need ramp_s > 0, hold_s >= 0, decay_s > 0")
+
+    def times(self, n, rng):
+        self._check_count(n)
+        return self._thinned(n, rng, self.base_rps * self.flash_factor)
+
+    def rate_at(self, t):
+        peak = self.base_rps * self.flash_factor
+        ramp_end = self.flash_at_s + self.ramp_s
+        hold_end = ramp_end + self.hold_s
+        decay_end = hold_end + self.decay_s
+        if t < self.flash_at_s or t >= decay_end:
+            return self.base_rps
+        if t < ramp_end:
+            return self.base_rps + (peak - self.base_rps) * (
+                (t - self.flash_at_s) / self.ramp_s
+            )
+        if t < hold_end:
+            return peak
+        return peak - (peak - self.base_rps) * ((t - hold_end) / self.decay_s)
+
+    def describe(self) -> str:
+        return (
+            f"flash crowd {self.base_rps:g}→"
+            f"{self.base_rps * self.flash_factor:g} req/s at "
+            f"t={self.flash_at_s:g} s"
+        )
+
+
+ARRIVAL_KINDS: dict[str, type[ArrivalProcess]] = {
+    cls.kind: cls
+    for cls in (
+        ConstantArrivals,
+        PoissonArrivals,
+        DiurnalArrivals,
+        BurstArrivals,
+        FlashCrowdArrivals,
+    )
+}
+
+
+def arrival_from_json_dict(payload: dict[str, object]) -> ArrivalProcess:
+    """Rebuild an arrival process from its :meth:`to_json_dict` form."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    try:
+        cls = ARRIVAL_KINDS[kind]  # type: ignore[index]
+    except KeyError:
+        known = ", ".join(sorted(ARRIVAL_KINDS))
+        raise ValueError(f"unknown arrival kind {kind!r} (known: {known})") from None
+    return cls(**data)  # type: ignore[arg-type]

@@ -1,0 +1,241 @@
+"""Length models: how many tokens a request reads and writes.
+
+A :class:`LengthModel` samples per-request (input, output) token counts
+from a seeded RNG.  The workhorse is :class:`LognormalLengths` — the
+same right-skewed shape :func:`repro.runtime.workload.blended_trace`
+uses, parameterized by mean rather than mu so presets read naturally.
+:class:`MixtureLengths` composes several lognormals with weights, which
+is how bimodal production traffic (e.g. RAG: mostly retrieval-stuffed
+prompts, sometimes bare questions) is expressed.
+
+The preset factories at the bottom encode the four traffic shapes the
+scenario catalog ships (ShareGPT-like chat, long-context RAG, code
+completion, agentic tool loops); their token means follow the public
+dataset profiles referenced in SNIPPETS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "LengthModel",
+    "LognormalLengths",
+    "MixtureLengths",
+    "LENGTH_KINDS",
+    "length_from_json_dict",
+    "sharegpt_chat",
+    "long_context_rag",
+    "code_completion",
+    "agentic_tool_turns",
+]
+
+
+@dataclass(frozen=True)
+class LengthModel:
+    """Interface: subclasses sample ``n`` (input, output) token pairs."""
+
+    kind = "base"
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(input_tokens, output_tokens)`` int arrays of length ``n``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human summary for catalog tables."""
+        raise NotImplementedError
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, **asdict(self)}
+
+
+def _lognormal(
+    rng: np.random.Generator,
+    n: int,
+    mean: float,
+    sigma: float,
+    min_tokens: int,
+    max_tokens: int,
+) -> np.ndarray:
+    """``n`` clipped integer lognormal draws with the given arithmetic mean."""
+    mu = math.log(mean) - 0.5 * sigma * sigma
+    draws = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    return np.clip(np.rint(draws).astype(int), min_tokens, max_tokens)
+
+
+@dataclass(frozen=True)
+class LognormalLengths(LengthModel):
+    """Independent lognormal input and output lengths.
+
+    ``mean_*_tokens`` are arithmetic means; ``sigma`` is the log-space
+    spread shared by both draws (0.6 matches ``blended_trace``, ~0.9
+    matches the heavier ShareGPT tail).
+    """
+
+    mean_input_tokens: float = 512.0
+    mean_output_tokens: float = 256.0
+    sigma: float = 0.6
+    min_tokens: int = 8
+    max_tokens: int = 8192
+
+    kind = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.mean_input_tokens <= 0 or self.mean_output_tokens <= 0:
+            raise ValueError("token means must be positive")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if not 1 <= self.min_tokens <= self.max_tokens:
+            raise ValueError(
+                f"need 1 <= min_tokens <= max_tokens, got "
+                f"[{self.min_tokens}, {self.max_tokens}]"
+            )
+
+    def sample(self, n, rng):
+        if n < 1:
+            raise ValueError(f"need n >= 1 samples, got {n}")
+        inputs = _lognormal(
+            rng, n, self.mean_input_tokens, self.sigma, self.min_tokens, self.max_tokens
+        )
+        outputs = _lognormal(
+            rng,
+            n,
+            self.mean_output_tokens,
+            self.sigma,
+            self.min_tokens,
+            self.max_tokens,
+        )
+        return inputs, outputs
+
+    def describe(self) -> str:
+        return (
+            f"lognormal ~{self.mean_input_tokens:g} in / "
+            f"~{self.mean_output_tokens:g} out (σ={self.sigma:g})"
+        )
+
+
+@dataclass(frozen=True)
+class MixtureLengths(LengthModel):
+    """Weighted mixture of length models (bimodal and heavier traffic).
+
+    Each request picks a component by weight, then samples from it.  All
+    components draw a full-size sample and the chosen rows are selected
+    by mask, so each component consumes the same RNG stream regardless
+    of the weights — determinism survives weight tweaks.
+    """
+
+    components: tuple[LognormalLengths, ...] = ()
+    weights: tuple[float, ...] = ()
+
+    kind = "mixture"
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise ValueError("mixture needs >= 2 components")
+        if len(self.weights) != len(self.components):
+            raise ValueError(
+                f"{len(self.components)} components but {len(self.weights)} weights"
+            )
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(f"weights must be positive, got {self.weights}")
+
+    def sample(self, n, rng):
+        if n < 1:
+            raise ValueError(f"need n >= 1 samples, got {n}")
+        probs = np.asarray(self.weights, dtype=float)
+        probs = probs / probs.sum()
+        choice = rng.choice(len(self.components), size=n, p=probs)
+        inputs = np.zeros(n, dtype=int)
+        outputs = np.zeros(n, dtype=int)
+        for idx, component in enumerate(self.components):
+            comp_in, comp_out = component.sample(n, rng)
+            mask = choice == idx
+            inputs[mask] = comp_in[mask]
+            outputs[mask] = comp_out[mask]
+        return inputs, outputs
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{w:g}× {c.describe()}"
+            for w, c in zip(self.weights, self.components)
+        )
+        return f"mixture [{parts}]"
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "components": [c.to_json_dict() for c in self.components],
+            "weights": list(self.weights),
+        }
+
+
+LENGTH_KINDS: dict[str, type[LengthModel]] = {
+    "lognormal": LognormalLengths,
+    "mixture": MixtureLengths,
+}
+
+
+def length_from_json_dict(payload: dict[str, object]) -> LengthModel:
+    """Rebuild a length model from its :meth:`to_json_dict` form."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind == "lognormal":
+        return LognormalLengths(**data)  # type: ignore[arg-type]
+    if kind == "mixture":
+        components = tuple(
+            length_from_json_dict(c)  # type: ignore[arg-type]
+            for c in data["components"]  # type: ignore[union-attr]
+        )
+        if not all(isinstance(c, LognormalLengths) for c in components):
+            raise ValueError("mixture components must be lognormal")
+        return MixtureLengths(
+            components=components,  # type: ignore[arg-type]
+            weights=tuple(data["weights"]),  # type: ignore[arg-type]
+        )
+    known = ", ".join(sorted(LENGTH_KINDS))
+    raise ValueError(f"unknown length kind {kind!r} (known: {known})")
+
+
+def sharegpt_chat() -> LognormalLengths:
+    """ShareGPT-like chat turns: medium prompts, chatty answers, heavy tail."""
+    return LognormalLengths(
+        mean_input_tokens=330.0, mean_output_tokens=240.0, sigma=0.9
+    )
+
+
+def long_context_rag() -> MixtureLengths:
+    """Long-context RAG: mostly retrieval-stuffed prompts with terse answers,
+    a minority of bare questions that skipped retrieval."""
+    return MixtureLengths(
+        components=(
+            LognormalLengths(
+                mean_input_tokens=3600.0,
+                mean_output_tokens=180.0,
+                sigma=0.5,
+                max_tokens=16384,
+            ),
+            LognormalLengths(
+                mean_input_tokens=250.0, mean_output_tokens=140.0, sigma=0.7
+            ),
+        ),
+        weights=(0.8, 0.2),
+    )
+
+
+def code_completion() -> LognormalLengths:
+    """IDE code completion: large file context in, a short suggestion out."""
+    return LognormalLengths(
+        mean_input_tokens=1500.0, mean_output_tokens=80.0, sigma=0.7
+    )
+
+
+def agentic_tool_turns() -> LognormalLengths:
+    """Agentic tool loops: many short turns (tool result in, call out)."""
+    return LognormalLengths(
+        mean_input_tokens=180.0, mean_output_tokens=90.0, sigma=0.6
+    )

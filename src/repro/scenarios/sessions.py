@@ -1,0 +1,145 @@
+"""Session models: how many turns a conversation runs, and their pacing.
+
+An arrival process emits *session* starts; a :class:`SessionModel`
+expands each start into one or more turns.  :class:`SingleShot` is the
+identity (one request per arrival — the paper's shape).
+:class:`MultiTurnSessions` samples a geometric turn count and paces
+follow-up turns by the previous answer's streaming time plus an
+exponential user think time, which is what makes a conversation's KV
+worth keeping resident between turns.
+
+The actual turn-to-request expansion (context growth, prefix accounting)
+lives in :meth:`repro.scenarios.Scenario.build`; this module only decides
+counts and gaps so the pieces stay independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "SessionModel",
+    "SingleShot",
+    "MultiTurnSessions",
+    "SESSION_KINDS",
+    "session_from_json_dict",
+]
+
+
+@dataclass(frozen=True)
+class SessionModel:
+    """Interface: subclasses decide turn counts and inter-turn gaps."""
+
+    kind = "base"
+
+    def turn_counts(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Number of turns for each of ``n`` sessions (ints >= 1)."""
+        raise NotImplementedError
+
+    def think_gap_s(self, rng: np.random.Generator) -> float:
+        """User think time between an answer finishing and the next turn."""
+        raise NotImplementedError
+
+    def pacing_s_per_token(self) -> float:
+        """Seconds the user spends reading/streaming each answer token."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human summary for catalog tables."""
+        raise NotImplementedError
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class SingleShot(SessionModel):
+    """One turn per session — independent requests, no KV reuse."""
+
+    kind = "single_shot"
+
+    def turn_counts(self, n, rng):
+        return np.ones(n, dtype=int)
+
+    def think_gap_s(self, rng):
+        return 0.0
+
+    def pacing_s_per_token(self):
+        return 0.0
+
+    def describe(self) -> str:
+        return "single-shot"
+
+
+@dataclass(frozen=True)
+class MultiTurnSessions(SessionModel):
+    """Geometric-length conversations with think-time pacing.
+
+    Turn counts are geometric with mean ``mean_turns`` clipped to
+    ``[1, max_turns]``.  Turn j+1 arrives after turn j's answer streams
+    out (``response_pacing_s_per_token`` per generated token) plus an
+    exponential think gap with mean ``think_time_mean_s`` — an open-loop
+    approximation: the schedule is fixed at build time rather than
+    reacting to simulated completion times, which keeps traces
+    replayable byte-for-byte.
+    """
+
+    mean_turns: float = 4.0
+    max_turns: int = 16
+    think_time_mean_s: float = 3.0
+    response_pacing_s_per_token: float = 0.02
+
+    kind = "multi_turn"
+
+    def __post_init__(self) -> None:
+        if self.mean_turns < 1.0:
+            raise ValueError(f"mean_turns must be >= 1, got {self.mean_turns}")
+        if self.max_turns < 1:
+            raise ValueError(f"max_turns must be >= 1, got {self.max_turns}")
+        if self.think_time_mean_s < 0:
+            raise ValueError(
+                f"think_time_mean_s must be >= 0, got {self.think_time_mean_s}"
+            )
+        if self.response_pacing_s_per_token < 0:
+            raise ValueError(
+                "response_pacing_s_per_token must be >= 0, got "
+                f"{self.response_pacing_s_per_token}"
+            )
+
+    def turn_counts(self, n, rng):
+        counts = rng.geometric(p=1.0 / self.mean_turns, size=n)
+        return np.clip(counts, 1, self.max_turns)
+
+    def think_gap_s(self, rng):
+        if self.think_time_mean_s == 0.0:
+            return 0.0
+        return float(rng.exponential(self.think_time_mean_s))
+
+    def pacing_s_per_token(self):
+        return self.response_pacing_s_per_token
+
+    def describe(self) -> str:
+        return (
+            f"multi-turn ~{self.mean_turns:g} turns, "
+            f"think ~{self.think_time_mean_s:g} s"
+        )
+
+
+SESSION_KINDS: dict[str, type[SessionModel]] = {
+    "single_shot": SingleShot,
+    "multi_turn": MultiTurnSessions,
+}
+
+
+def session_from_json_dict(payload: dict[str, object]) -> SessionModel:
+    """Rebuild a session model from its :meth:`to_json_dict` form."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    try:
+        cls = SESSION_KINDS[kind]  # type: ignore[index]
+    except KeyError:
+        known = ", ".join(sorted(SESSION_KINDS))
+        raise ValueError(f"unknown session kind {kind!r} (known: {known})") from None
+    return cls(**data)  # type: ignore[arg-type]

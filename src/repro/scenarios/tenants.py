@@ -1,0 +1,72 @@
+"""Tenant specs: traffic classes with their own share and SLOs.
+
+A multi-tenant scenario mixes traffic classes — an interactive product
+surface, a standard API tier, an offline batch lane — each with a
+traffic ``weight`` and its own latency targets.  Sessions (not
+individual turns) are assigned to tenants so a conversation never
+straddles two SLO classes, and every request carries its tenant name
+for the per-tenant lanes in :class:`repro.runtime.loadgen.LoadReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.runtime.loadgen import ServiceLevelObjective
+
+__all__ = ["TenantSpec", "assign_tenants", "tenant_from_json_dict"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class: a name, a traffic share, and latency targets."""
+
+    name: str
+    weight: float = 1.0
+    slo_ttft_s: float = 1.5
+    slo_itl_s: float = 1.0 / 12.0
+    slo_e2e_s: float | None = None
+    attainment_target: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+
+    def slo(self) -> ServiceLevelObjective:
+        """The tenant's latency targets as a serving-layer SLO."""
+        return ServiceLevelObjective(
+            ttft_s=self.slo_ttft_s,
+            itl_s=self.slo_itl_s,
+            e2e_s=self.slo_e2e_s,
+            attainment_target=self.attainment_target,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (weight {self.weight:g}, "
+            f"TTFT<{self.slo_ttft_s:g}s, ITL<{self.slo_itl_s * 1e3:.0f}ms)"
+        )
+
+    def to_json_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+
+def tenant_from_json_dict(payload: dict[str, object]) -> TenantSpec:
+    """Rebuild a tenant spec from its :meth:`to_json_dict` form."""
+    return TenantSpec(**payload)  # type: ignore[arg-type]
+
+
+def assign_tenants(
+    tenants: tuple[TenantSpec, ...], n: int, rng: np.random.Generator
+) -> list[str | None]:
+    """Weighted tenant assignment for ``n`` sessions (``None`` if untagged)."""
+    if not tenants:
+        return [None] * n
+    probs = np.asarray([t.weight for t in tenants], dtype=float)
+    probs = probs / probs.sum()
+    choice = rng.choice(len(tenants), size=n, p=probs)
+    return [tenants[i].name for i in choice]

@@ -50,7 +50,13 @@ class _FakeReplica:
 class TestRouters:
     def test_registry_lists_all_policies(self):
         assert list_routers() == sorted(
-            ["round-robin", "least-outstanding", "power-of-two", "prefix-affinity"]
+            [
+                "round-robin",
+                "least-outstanding",
+                "power-of-two",
+                "prefix-affinity",
+                "session-affinity",
+            ]
         )
 
     def test_get_router_unknown_name(self):
@@ -300,11 +306,16 @@ class TestRoutingGoodput:
             ).run(trace)
             goodput[name] = result.load_report(14.0).goodput_rps
             hits[name] = result.prefix_hits
-        others = [v for k, v in goodput.items() if k != "prefix-affinity"]
+        # session-affinity pins by prefix when requests carry no session,
+        # so it matches prefix-affinity here; both beat the prefix-blind
+        # policies.
+        affinity = ("prefix-affinity", "session-affinity")
+        others = [v for k, v in goodput.items() if k not in affinity]
         assert goodput["prefix-affinity"] > max(others)
         assert hits["prefix-affinity"] > max(
-            v for k, v in hits.items() if k != "prefix-affinity"
+            v for k, v in hits.items() if k not in affinity
         )
+        assert hits["session-affinity"] == hits["prefix-affinity"]
 
 
 class TestDisaggregation:
