@@ -18,13 +18,20 @@ trajectory across PRs:
   ``profile=True``; the CI gate stays on the unprofiled iteration rate);
 * **scenario_trace** — building a :mod:`repro.scenarios` request trace
   (arrivals, multi-turn sessions, length sampling), cold vs warm, so
-  trace-generation cost is tracked alongside the simulator hot paths.
+  trace-generation cost is tracked alongside the simulator hot paths;
+* **engine_vectorized** — the same engine run through the ``legacy``
+  (pre-vectorization, single-step-while-waiting) core vs the ``vector``
+  core (struct-of-arrays commits + event-horizon decode spans), with a
+  scalar-core bit-identity check first;
+* **cluster_vectorized** — a multi-replica run, ``legacy`` vs ``vector``
+  core (batched replica selection + coalesced spans), same checks.
 
 Every pair is checked for agreement before timings are reported — a
 benchmark that got faster by computing something else is a bug, not a win.
 CI runs the reduced grid and fails when the kernel-path engine iteration
 rate regresses more than ``--max-regression`` against
-``benchmarks/baseline.json`` (see docs/performance.md).
+``benchmarks/baseline.json``, or when the vectorized-core speedups fall
+below the baseline's ``min_speedup`` floors (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -278,6 +285,96 @@ def _bench_profiler_overhead(
     }
 
 
+def _bench_engine_vectorized(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    """Vectorized event core vs the pre-vectorization engine loop.
+
+    ``before_s`` runs ``core="legacy"`` (per-token object loops, spans
+    collapse to single steps whenever anything waits), ``after_s`` runs
+    ``core="vector"`` (struct-of-arrays commits, spans extend to the next
+    arrival/completion event).  The scalar core must be bit-identical to
+    the vector core first (the equivalence contract); legacy only has to
+    agree on physics to span-boundary rounding.
+
+    The workload is a saturation regime — arrivals outpace service so a
+    queue persists through most of the run.  That is where the two cores
+    diverge most (legacy single-steps whenever anything waits, the vector
+    core's spans are bounded only by genuine future events) and it is the
+    regime fleet-scale sweeps live in.
+    """
+    num_requests = 32 if reduced else 64
+    trace_args = (num_requests, 16.0, 128, 768)
+
+    def run_with(core: str) -> object:
+        engine = ServingEngine(
+            dep, max_concurrency=8, kernel=kernel, core=core
+        )
+        return engine.run(open_loop_trace(*trace_args, seed=7))
+
+    scalar_result = run_with("scalar")
+    vector_result = run_with("vector")
+    if scalar_result.total_time_s != vector_result.total_time_s:
+        raise AssertionError("vector core is not bit-identical to scalar core")
+    if scalar_result.iterations != vector_result.iterations:
+        raise AssertionError("vector core iteration count diverged from scalar")
+    legacy_result = run_with("legacy")
+    gap = abs(legacy_result.total_time_s - vector_result.total_time_s)
+    if gap > 1e-3 * legacy_result.total_time_s:
+        raise AssertionError("vector core physics diverged from legacy core")
+
+    before = _best_of(lambda: run_with("legacy"), repeats)
+    after = _best_of(lambda: run_with("vector"), repeats)
+    return {
+        "legacy_iterations": float(legacy_result.iterations),
+        "vector_iterations": float(vector_result.iterations),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+
+
+def _bench_cluster_vectorized(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    """Batched cluster stepping (``core="vector"``) vs the legacy loop.
+
+    Same saturation regime as ``engine_vectorized``, spread across a
+    fleet so replica selection and horizon computation are exercised too.
+    """
+    num_replicas = 2 if reduced else 4
+    num_requests = 48 if reduced else 96
+    rate = 24.0 if reduced else 48.0
+
+    def run_with(core: str) -> object:
+        simulator = ClusterSimulator(
+            dep, num_replicas, max_concurrency=8, kernel=kernel, core=core
+        )
+        trace = open_loop_trace(num_requests, rate, 128, 768, seed=11)
+        return simulator.run(trace)
+
+    scalar_result = run_with("scalar")
+    vector_result = run_with("vector")
+    if scalar_result.makespan_s != vector_result.makespan_s:
+        raise AssertionError(
+            "vector cluster core is not bit-identical to scalar core"
+        )
+    legacy_result = run_with("legacy")
+    gap = abs(legacy_result.makespan_s - vector_result.makespan_s)
+    if gap > 1e-3 * legacy_result.makespan_s:
+        raise AssertionError("vector cluster physics diverged from legacy core")
+
+    before = _best_of(lambda: run_with("legacy"), repeats)
+    after = _best_of(lambda: run_with("vector"), repeats)
+    return {
+        "replicas": float(num_replicas),
+        "requests": float(num_requests),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+
+
 def _bench_scenario_trace(reduced: bool, repeats: int) -> dict[str, float]:
     """Cost of building a scenario trace (arrivals, turns, lengths, tenants).
 
@@ -313,7 +410,7 @@ def _bench_scenario_trace(reduced: bool, repeats: int) -> dict[str, float]:
 
 
 def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
-    """Run the six before/after benchmarks and assemble a report."""
+    """Run the eight before/after benchmarks and assemble a report."""
     if repeats is None:
         repeats = 2 if reduced else 3
     dep = _reference_deployment()
@@ -327,6 +424,12 @@ def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchRe
             dep, kernel, reduced, repeats
         ),
         "scenario_trace": _bench_scenario_trace(reduced, repeats),
+        "engine_vectorized": _bench_engine_vectorized(
+            dep, kernel, reduced, repeats
+        ),
+        "cluster_vectorized": _bench_cluster_vectorized(
+            dep, kernel, reduced, repeats
+        ),
     }
     return BenchReport(
         date=datetime.date.today().isoformat(),
@@ -354,11 +457,18 @@ def check_regression(
 ) -> list[str]:
     """Regression messages (empty = pass).
 
-    The gate is the kernel-path engine iteration rate: the harness fails
-    when it drops below ``baseline / max_regression``.  The baseline is a
-    deliberately conservative committed number so that machine-to-machine
-    variance does not trip CI, while an accidental return to un-memoized
-    evaluation (a >5x cliff) always does.
+    Two gates:
+
+    * the kernel-path engine iteration rate must stay above
+      ``baseline / max_regression`` — the baseline is a deliberately
+      conservative committed number so machine-to-machine variance does
+      not trip CI, while an accidental return to un-memoized evaluation
+      (a >5x cliff) always does;
+    * the vectorized-core speedup ratios (``engine_vectorized`` and
+      ``cluster_vectorized``, legacy core vs vector core on the same
+      machine) must stay above the baseline's ``min_speedup`` floors.
+      Ratios of two same-process timings are machine-independent, so
+      these floors are tight (10x / 5x, the ISSUE 8 acceptance bar).
     """
     if max_regression <= 1.0:
         raise ValueError("max_regression must be > 1.0")
@@ -372,6 +482,16 @@ def check_regression(
             f"{rate:.1f} iters/s < floor {floor:.1f} "
             f"(baseline {base_rate:.1f} / {max_regression:g})"
         )
+    for name in ("engine_vectorized", "cluster_vectorized"):
+        if name not in baseline:
+            continue
+        min_speedup = baseline[name]["min_speedup"]
+        speedup = report.benchmarks[name]["speedup"]
+        if speedup < min_speedup:
+            failures.append(
+                f"{name} speedup regressed: {speedup:.1f}x < "
+                f"required {min_speedup:g}x (legacy vs vector core)"
+            )
     return failures
 
 

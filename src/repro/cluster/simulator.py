@@ -43,6 +43,8 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cluster.disagg import DisaggregationSpec, kv_transfer_time
 from repro.cluster.router import LeastOutstandingTokensRouter, Router, _least_outstanding
 from repro.control.autoscale import FleetView, NullAutoscaler
@@ -53,7 +55,7 @@ from repro.obs.profiler import ProfileReport, merge_profiles
 from repro.obs.tracer import EventTracer, TraceEvent
 from repro.perf.kernel import get_kernel
 from repro.perf.phases import Deployment
-from repro.runtime.engine import EngineResult, EngineRun, ServingEngine
+from repro.runtime.engine import EngineResult, EngineRun, ServingEngine, resolve_core
 from repro.runtime.loadgen import LoadReport, ServiceLevelObjective, summarize_requests
 
 __all__ = ["Replica", "ReplicaReport", "ClusterResult", "ClusterSimulator"]
@@ -306,6 +308,7 @@ class ClusterSimulator:
         kernel=None,
         control: ControlPlane | None = None,
         fleet: Sequence[Deployment] | None = None,
+        core: str | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -342,6 +345,10 @@ class ClusterSimulator:
                     "state must be attachable on every decode replica"
                 )
         self.fleet = fleet
+        # Execution core for every replica engine (see repro.runtime.engine):
+        # "vector" additionally batches the simulator's own replica
+        # selection into one masked-argmin array pass.
+        self.core = resolve_core(core)
         self.control = control
         # A null plane is provably inert; treat it exactly like no plane
         # so the bit-identity guarantee holds by construction.
@@ -349,6 +356,11 @@ class ClusterSimulator:
         # Run-scoped state (initialized in run()).
         self._replicas: list[Replica] = []
         self._prefill_fleet: list[Replica] = []
+        # Vector-core fleet arrays: per-replica clock and step eligibility
+        # (alive and has_work), index-aligned with ``_replicas`` so the
+        # next replica to step falls out of one masked argmin.
+        self._clock: np.ndarray | None = None
+        self._eligible: np.ndarray | None = None
         self._next_index = 0
         self._events: list[tuple[float, int, str, object]] = []
         self._seq = itertools.count()
@@ -402,6 +414,7 @@ class ClusterSimulator:
             optimistic=self.optimistic,
             kernel=kernel,
             profile=self.profiled,
+            core=self.core,
             **({"tracer": tracer} if tracer is not None else {}),
         )
         return Replica(
@@ -435,17 +448,65 @@ class ClusterSimulator:
             self._replicas.append(self._make_replica(index, name, dep, role))
         self._next_index = len(specs)
         self._prefill_fleet = [r for r in self._replicas if r.role == "prefill"]
+        if self.core == "vector":
+            n = len(self._replicas)
+            self._clock = np.zeros(n, dtype=np.float64)
+            self._eligible = np.zeros(n, dtype=bool)
+        else:
+            self._clock = self._eligible = None
 
     def _pressure(self) -> bool:
-        """More work may still route here: hold single-step boundaries.
+        """More work may still arrive *before* the step horizon: hold
+        single-step boundaries.
 
-        True while undispatched events remain on the heap or (in
-        disaggregated mode) any live prefill replica still holds work
-        whose retirement will spawn a KV handoff.
+        On the event-horizon cores ("vector"/"scalar") heap events are
+        already covered by the horizon each step receives, so only work
+        that can be injected mid-loop — a live prefill replica whose next
+        retirement spawns a KV handoff — forces single-stepping.  The
+        "legacy" core keeps the historical rule (any undispatched event
+        holds every replica to single steps).
         """
-        if self._events:
+        if self.core == "legacy" and self._events:
             return True
         return any(r.alive and r.has_work for r in self._prefill_fleet)
+
+    def _sync_replica(self, replica: Replica) -> None:
+        """Refresh one replica's row in the fleet arrays (vector core)."""
+        eligible = self._eligible
+        if eligible is None:
+            return
+        i = replica.index
+        self._clock[i] = replica.run.now
+        eligible[i] = replica.alive and replica.run.has_work
+
+    def _select(self, bound: float | None) -> Replica | None:
+        """Least-advanced eligible replica (clock < ``bound`` if given).
+
+        Vector core: one masked argmin over the fleet arrays — argmin
+        returns the first minimum, which is the lowest index among
+        clock ties, exactly the scalar ``min(..., key=(now, index))``
+        tie-break.  Other cores scan the replica list (reference path).
+        """
+        eligible = self._eligible
+        if eligible is not None:
+            mask = (
+                eligible
+                if bound is None
+                else eligible & (self._clock < bound)
+            )
+            masked = np.where(mask, self._clock, np.inf)
+            i = int(np.argmin(masked))
+            if masked[i] == np.inf:
+                return None
+            return self._replicas[i]
+        candidates = [
+            r
+            for r in self._replicas
+            if r.alive and r.has_work and (bound is None or r.now < bound)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.now, r.index))
 
     # ------------------------------------------------------------------
 
@@ -487,18 +548,12 @@ class ClusterSimulator:
             if not isinstance(plane.autoscaler, NullAutoscaler):
                 self._push(plane.tick_interval_s, _TICK, None)
 
-        replicas = self._replicas
         while True:
             if self._events:
                 t_next = self._events[0][0]
-                candidates = [
-                    r
-                    for r in replicas
-                    if r.alive and r.has_work and r.now < t_next
-                ]
-                if candidates:
-                    self._step(min(candidates, key=lambda r: (r.now, r.index)),
-                               horizon=t_next)
+                replica = self._select(t_next)
+                if replica is not None:
+                    self._step(replica, horizon=t_next)
                     continue
                 ts, _, kind, payload = heapq.heappop(self._events)
                 if kind == _ARRIVAL:
@@ -514,11 +569,10 @@ class ClusterSimulator:
                 else:  # _TICK
                     self._autoscale_tick(ts)
                 continue
-            working = [r for r in replicas if r.alive and r.has_work]
-            if not working:
+            replica = self._select(None)
+            if replica is None:
                 break
-            self._step(min(working, key=lambda r: (r.now, r.index)),
-                       horizon=None)
+            self._step(replica, horizon=None)
 
         return self._finalize(trace)
 
@@ -529,6 +583,7 @@ class ClusterSimulator:
 
     def _step(self, replica: Replica, horizon: float | None) -> None:
         retired = replica.run.step(horizon=horizon)
+        self._sync_replica(replica)
         if not self._orig_by_proxy and not self._control_on:
             return
         for proxy in retired:
@@ -639,6 +694,7 @@ class ClusterSimulator:
             if not retry:
                 request.cached_prefix_tokens = cached
                 chosen.run.submit(request)
+                self._sync_replica(chosen)
                 return
             # Retries run as full-lifecycle proxies: the proxy arrives at
             # the retry instant (so a lagging idle replica cannot serve it
@@ -654,6 +710,7 @@ class ClusterSimulator:
             )
             self._orig_by_proxy[proxy.request_id] = request
             chosen.run.submit(proxy)
+            self._sync_replica(chosen)
             return
         proxy = GenerationRequest(
             input_tokens=request.input_tokens,
@@ -665,6 +722,7 @@ class ClusterSimulator:
         )
         self._orig_by_proxy[proxy.request_id] = request
         chosen.run.submit(proxy)
+        self._sync_replica(chosen)
 
     def _dispatch_handoff(self, orig: GenerationRequest, ts: float) -> None:
         pool = self._route_pool(self._serving_role, ts, _HANDOFF, orig)
@@ -687,6 +745,7 @@ class ClusterSimulator:
         )
         self._orig_by_proxy[proxy.request_id] = orig
         chosen.run.submit(proxy)
+        self._sync_replica(chosen)
 
     # ------------------------------------------------------------------
     # Control plane: faults, retries, autoscaling.
@@ -773,6 +832,7 @@ class ClusterSimulator:
         # (queued or mid-flight) re-enters the router under backoff.
         replica.alive = False
         replica.status = "crashed"
+        self._sync_replica(replica)
         victims = [r for r in replica.run.submitted if not r.is_finished]
         self._fault_log.append(
             {
@@ -873,6 +933,9 @@ class ClusterSimulator:
         )
         replica.status = "scaled"
         self._replicas.append(replica)
+        if self._eligible is not None:
+            self._clock = np.append(self._clock, 0.0)
+            self._eligible = np.append(self._eligible, False)
         self._last_scale_s = ts
         self._scale_log.append(
             {"action": "up", "ts_s": ts, "replica": name, "ready_s": ts + warmup}

@@ -10,11 +10,30 @@ The engine and the closed-form :class:`~repro.perf.estimator
 .InferenceEstimator` are two views of the same model; tests cross-check
 them on the paper's fixed-shape workloads.
 
-Iteration coalescing: when every running sequence advances in lockstep and
-no admission can occur mid-span (the paper's fixed batches), the engine
-executes many decode steps as one span, evaluating the step cost at the
-span's mean context — exact for the affine-in-context step model and
-O(events) instead of O(tokens).
+Execution cores (``ServingEngine(core=...)``):
+
+* ``"vector"`` (default) — the vectorized event core: request state lives
+  in a struct-of-arrays :class:`~repro.runtime.soa.RequestTable` and each
+  decode span / prefill rider chunk commits as one numpy operation
+  instead of a Python loop over request objects.
+* ``"scalar"`` — the reference implementation: per-token Python loops
+  over request objects.  Bit-identical to ``"vector"`` (same results,
+  metrics, traces, profiles — enforced by ``tests/test_vector_core.py``);
+  it exists to keep the vectorized core honest.
+* ``"legacy"`` — the scalar loops with the pre-vectorization span rule
+  (coalesce only when the waiting queue is empty), kept as the measured
+  "before" of the ``engine_vectorized`` benchmark entries.
+
+Iteration coalescing: a decode span advances every running sequence in
+lockstep, evaluating the step cost at the span's mean context — exact for
+the affine-in-context step model.  The ``vector``/``scalar`` cores bound
+each span by the *next scheduling event* (the caller's horizon, the next
+future arrival, a completion) so saturated runs cost O(events) instead of
+O(tokens); an arrived-but-blocked queue head cannot shorten a span, since
+only a retirement (which ends the span anyway) can unblock admission.
+The environment variable ``REPRO_ENGINE_CORE`` overrides the default
+core for engines (and cluster replicas) constructed without an explicit
+``core=`` — CI uses it to run the whole test suite under both paths.
 
 Execution is resumable: :meth:`ServingEngine.start` returns an
 :class:`EngineRun` whose ``submit``/``step`` pair lets a caller interleave
@@ -26,8 +45,11 @@ arrivals between steps.
 
 from __future__ import annotations
 
+import math
+import os
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.metrics import InferenceMetrics, LatencyBreakdown
 from repro.core.request import GenerationRequest, RequestState
@@ -47,14 +69,34 @@ from repro.runtime.scheduler import (
     StaticBatchingScheduler,
 )
 
-__all__ = ["EngineResult", "EngineRun", "ServingEngine"]
+__all__ = ["EngineResult", "EngineRun", "ServingEngine", "resolve_core"]
 
 _MAX_ITERATIONS = 10_000_000
+
+_VALID_CORES = ("vector", "scalar", "legacy")
+
+
+def resolve_core(core: str | None) -> str:
+    """Validate a core name; ``None`` reads ``REPRO_ENGINE_CORE`` (default
+    ``"vector"``)."""
+    if core is None:
+        core = os.environ.get("REPRO_ENGINE_CORE", "vector")
+    if core not in _VALID_CORES:
+        raise ValueError(
+            f"core must be one of {_VALID_CORES}, got {core!r}"
+        )
+    return core
 
 
 @dataclass
 class EngineResult:
-    """Outcome of one engine run over a trace."""
+    """Outcome of one engine run over a trace.
+
+    Derived aggregates (``total_tokens``, ``mean_ttft_s``, ``mean_itl_s``,
+    ``timelines()``) are cached on first access — dashboards and reports
+    read them repeatedly and the request list is fixed once the result is
+    assembled.
+    """
 
     requests: list[GenerationRequest]
     total_time_s: float
@@ -66,7 +108,7 @@ class EngineResult:
     metrics: MetricsSnapshot | None = None  # registry snapshot (traced runs)
     profile: ProfileReport | None = None  # cost attribution (profiled runs)
 
-    @property
+    @cached_property
     def total_tokens(self) -> int:
         return sum(r.input_tokens + r.generated_tokens for r in self.requests)
 
@@ -77,7 +119,7 @@ class EngineResult:
             return 0.0
         return self.total_tokens / self.total_time_s
 
-    @property
+    @cached_property
     def mean_ttft_s(self) -> float:
         """Mean TTFT over requests that produced a first token.
 
@@ -92,9 +134,13 @@ class EngineResult:
 
     def timelines(self) -> list[RequestTimeline]:
         """Per-request milestone timelines (arrival order)."""
+        return list(self._timelines)
+
+    @cached_property
+    def _timelines(self) -> list[RequestTimeline]:
         return build_timelines(self.requests)
 
-    @property
+    @cached_property
     def mean_itl_s(self) -> float:
         """Mean inter-token gap over all decode intervals (Eq. 1 analogue)."""
         total_gap = 0.0
@@ -140,10 +186,14 @@ class ServingEngine:
         tracer: Tracer = NULL_TRACER,
         kernel=None,
         profile: bool = False,
+        core: str | None = None,
     ) -> None:
         """``optimistic=True`` enables vLLM's real admission policy:
         reserve only prompt blocks and preempt-and-recompute when the KV
-        pool runs dry mid-decode (requires a paged deployment).
+        pool runs dry mid-decode (requires a paged deployment).  Because
+        that policy grows each request's KV allocation token by token,
+        optimistic runs always commit through the scalar per-token loop,
+        whatever ``core`` says about the span rule.
 
         ``tracer`` (default the no-op :data:`~repro.obs.tracer.NULL_TRACER`)
         records span/instant events and metric histograms as the run
@@ -160,7 +210,10 @@ class ServingEngine:
         the deployment's shared :class:`~repro.perf.kernel.StepCostKernel`
         (memoized affine fast path).  Pass a
         :class:`~repro.perf.kernel.DirectStepCost` to force un-memoized
-        ``phases.py`` evaluation (benchmark baselines)."""
+        ``phases.py`` evaluation (benchmark baselines).
+
+        ``core`` selects the execution core (see the module docstring):
+        ``"vector"`` (default), ``"scalar"``, or ``"legacy"``."""
         if optimistic and not deployment.kv_spec.paged:
             raise ValueError("optimistic admission requires a paged KV spec")
         self.deployment = deployment
@@ -171,6 +224,10 @@ class ServingEngine:
         self.coalesce = coalesce
         self.optimistic = optimistic
         self.profile = profile
+        self.core = resolve_core(core)
+        # Optimistic admission mutates the allocator per token, so its
+        # commits stay on the scalar object path even under core="vector".
+        self._vector_commit = self.core == "vector" and not optimistic
         self._power = PowerModel(deployment.hardware, deployment.num_devices)
 
     def _make_scheduler(self) -> Scheduler:
@@ -185,6 +242,7 @@ class ServingEngine:
             self.max_concurrency,
             optimistic=self.optimistic,
             tracer=self.tracer,
+            track_soa=self._vector_commit,
         )
 
     # ------------------------------------------------------------------
@@ -196,9 +254,11 @@ class ServingEngine:
 
         ``pressure`` is an optional callback the run consults before
         coalescing a decode span: when it returns True, more requests may
-        still be submitted (e.g. arrivals held by a cluster router), so
-        the run keeps single-step iteration boundaries — exactly as it
-        would if those requests already sat in its waiting queue."""
+        still be submitted at times the caller cannot bound with a step
+        ``horizon`` (e.g. disaggregated KV handoffs spawned by another
+        replica's in-flight work), so the run keeps single-step iteration
+        boundaries — exactly as it would if those requests already sat in
+        its waiting queue."""
         return EngineRun(self, pressure=pressure)
 
     def run(self, trace: list[GenerationRequest]) -> EngineResult:
@@ -219,7 +279,8 @@ class ServingEngine:
         self,
         run: "EngineRun",
         admitted: list[GenerationRequest],
-        decoding: list[GenerationRequest],
+        decoding: list[GenerationRequest] | None,
+        riders: int,
     ) -> None:
         """Prefill newly admitted prompts (advances ``run`` in place).
 
@@ -228,6 +289,11 @@ class ServingEngine:
         in chunks and already-decoding streams advance one token per
         chunk instead of stalling for the whole prefill — the mechanism
         behind those frameworks' smoother tail ITL under load.
+
+        ``decoding`` lists the rider requests on the scalar/legacy cores;
+        the vector core passes ``None`` and rides the first ``riders``
+        rows of the scheduler's request table instead (admission appends,
+        so pre-admission requests always occupy the table's head).
         """
         batch = len(admitted)
         # Preempted requests re-prefill their full context (recompute).
@@ -236,11 +302,14 @@ class ServingEngine:
         owed = sum(r.prefill_tokens_needed for r in admitted)
         fw = self.deployment.framework
         chunks = 1
-        if fw.chunked_prefill and decoding:
+        if fw.chunked_prefill and riders:
             per_chunk_len = max(1, fw.prefill_chunk_tokens // max(1, batch))
             chunks = -(-max_input // per_chunk_len)
         chunk_len = -(-max_input // chunks)
 
+        scheduler = run.scheduler
+        table = scheduler.table
+        running = scheduler.running
         now = run.now
         traced = self.tracer.enabled
         profiler = run.profiler
@@ -263,7 +332,7 @@ class ServingEngine:
                     breakdown.total_s,
                     batch=batch,
                     tokens=chunk_len,
-                    riders=len(decoding),
+                    riders=riders,
                 )
                 self.tracer.counter(
                     "power_sample", "power_w", ts_s=now, watts=round(power_w, 3)
@@ -274,10 +343,19 @@ class ServingEngine:
             # Decoding streams ride along with the chunk (their token is
             # folded into the fused chunk's batch at negligible marginal
             # cost — the SplitFuse effect).
-            for request in decoding:
-                if request.generated_tokens < request.output_tokens:
-                    request.record_token(now)
-                    run._outstanding -= 1
+            if decoding is not None:
+                for request in decoding:
+                    if request.generated_tokens < request.output_tokens:
+                        request.record_token(now)
+                        run._outstanding -= 1
+            elif riders:
+                given, newly = table.commit_rider_chunk(riders)
+                run._outstanding -= given
+                for i in newly.tolist():
+                    request = running[i]
+                    request.generated_tokens = request.output_tokens
+                    request.finish_time = now
+                    request.state = RequestState.FINISHED
         for request in admitted:
             if request.generated_tokens == 0:
                 request.record_token(now)  # prefill emits the first token
@@ -286,6 +364,10 @@ class ServingEngine:
                 # A preempted request resumed: the re-prefill recreated its
                 # KV state; its next token comes from the next decode step.
                 request.state = RequestState.DECODING
+        if table is not None:
+            # The admitted requests mutated through the object path above;
+            # refresh their (tail) rows.
+            table.sync_tail(running, batch)
         run._outstanding -= owed
         run.now = now
 
@@ -297,7 +379,12 @@ class ServingEngine:
     ) -> None:
         now = run.now
         batch = len(running)
-        mean_ctx = sum(r.context_length for r in running) / batch
+        table = run.scheduler.table
+        if table is not None:
+            ctx_sum = table.context_sum()
+        else:
+            ctx_sum = sum(r.context_length for r in running)
+        mean_ctx = ctx_sum / batch
         # Context at the span's midpoint (contexts grow one token per step).
         span_ctx = max(1, round(mean_ctx + (steps - 1) / 2.0))
         step_bd = self.kernel.decode_step(batch, span_ctx)
@@ -325,18 +412,34 @@ class ServingEngine:
             self.tracer.counter(
                 "power_sample", "power_w", ts_s=now, watts=round(step_power_w, 3)
             )
-        active = list(running)
-        for i in range(steps):
-            token_time = now + step_bd.total_s * (i + 1)
+        if table is not None:
+            # Vectorized commit: every row advances ``steps`` tokens in one
+            # array pass.  The span rule guarantees no mid-span completion,
+            # so each finisher's last token lands exactly at the span end —
+            # the identical float expression the scalar loop evaluates.
+            finished = table.commit_decode(steps)
+            last_time = now + step_bd.total_s * steps
             if traced:
-                self.tracer.advance(token_time)
-            for request in list(active):
-                if request not in active:
-                    continue  # preempted earlier within this step
-                if self.optimistic:
-                    self._append_or_preempt(run, active, request)
-                request.record_token(token_time)
-                run._outstanding -= 1
+                self.tracer.advance(last_time)
+            for i in finished.tolist():
+                request = running[i]
+                request.generated_tokens = request.output_tokens
+                request.finish_time = last_time
+                request.state = RequestState.FINISHED
+            run._outstanding -= batch * steps
+        else:
+            active = list(running)
+            for i in range(steps):
+                token_time = now + step_bd.total_s * (i + 1)
+                if traced:
+                    self.tracer.advance(token_time)
+                for request in list(active):
+                    if request not in active:
+                        continue  # preempted earlier within this step
+                    if self.optimistic:
+                        self._append_or_preempt(run, active, request)
+                    request.record_token(token_time)
+                    run._outstanding -= 1
         run.now = now + span_bd.total_s
 
     def _append_or_preempt(
@@ -399,10 +502,11 @@ class EngineRun:
     runs against a shared arrival stream, routing each request when the
     fleet has caught up to its arrival time.
 
-    ``horizon`` on :meth:`step` caps *voluntary* idle jumps: an idle
+    ``horizon`` on :meth:`step` caps *voluntary* idle jumps and (on the
+    ``vector``/``scalar`` cores) bounds coalesced decode spans: an idle
     engine normally fast-forwards to its next queued arrival, but a
     cluster replica must not skip past a routing instant it cannot yet
-    see.  Committed work (a prefill pass, a decode step) may still end
+    see.  Committed work (a prefill pass, a decode span) may still end
     past the horizon — events are atomic, exactly as a newly arrived
     request waits out the in-flight iteration on a real engine.
     """
@@ -477,21 +581,26 @@ class EngineRun:
 
         admitted = scheduler.admit(self.now)
         if admitted:
-            decoding = [
-                r
-                for r in scheduler.running
-                if r not in admitted
-                and r.state == RequestState.DECODING
-                and r.generated_tokens < r.output_tokens
-            ]
-            engine._run_prefill(self, admitted, decoding)
+            if scheduler.table is not None:
+                riders = len(scheduler.running) - len(admitted)
+                engine._run_prefill(self, admitted, None, riders)
+            else:
+                admitted_ids = {id(r) for r in admitted}
+                decoding = [
+                    r
+                    for r in scheduler.running
+                    if id(r) not in admitted_ids
+                    and r.state == RequestState.DECODING
+                    and r.generated_tokens < r.output_tokens
+                ]
+                engine._run_prefill(self, admitted, decoding, len(decoding))
             retired = scheduler.retire_finished()  # 1-token requests
             self._observe_retired(retired)
             return retired
 
         running = scheduler.running
         if not running:
-            next_arrival = min(r.arrival_time for r in scheduler.waiting)
+            next_arrival = scheduler.next_arrival()
             if next_arrival > self.now:
                 # Idle until the next arrival (or the caller's horizon).
                 target = next_arrival if horizon is None else min(next_arrival, horizon)
@@ -512,7 +621,7 @@ class EngineRun:
                 f"{engine.deployment.num_devices})"
             )
 
-        steps = self._coalesced_steps()
+        steps = self._coalesced_steps(horizon)
         engine._run_decode_span(self, running, steps)
         self.decode_steps += steps
         retired = scheduler.retire_finished()
@@ -523,6 +632,11 @@ class EngineRun:
         self, requests: list[GenerationRequest] | None = None
     ) -> EngineResult:
         """Finalize the run (close gauge series) and assemble the result."""
+        table = self.scheduler.table
+        if table is not None:
+            # Lazily-synced rows (requests still mid-decode, e.g. on a
+            # crashed replica) write their progress back to the objects.
+            table.flush(self.scheduler.running)
         if self._traced:
             self.tracer.advance(self.now)
             self._sample_gauges()  # close the gauge series
@@ -559,6 +673,9 @@ class EngineRun:
 
     def outstanding_tokens_scan(self) -> int:
         """Reference O(n) recomputation of :attr:`outstanding_tokens`."""
+        table = self.scheduler.table
+        if table is not None:
+            table.flush(self.scheduler.running)
         total = 0
         for r in self.scheduler.waiting:
             total += r.prefill_tokens_needed + r.output_tokens - r.generated_tokens
@@ -580,20 +697,64 @@ class EngineRun:
 
     # ------------------------------------------------------------------
 
-    def _coalesced_steps(self) -> int:
-        """How many decode steps can run before the running set changes."""
-        running = self.scheduler.running
-        min_remaining = min(r.output_tokens - r.generated_tokens for r in running)
-        if min_remaining <= 1 or not self.engine.coalesce:
+    def _coalesced_steps(self, horizon: float | None) -> int:
+        """How many decode steps to commit as one span.
+
+        ``legacy`` core: coalesce to the shortest remaining budget only
+        when nothing is waiting anywhere (queue or ``pressure``), else 1.
+
+        ``vector``/``scalar`` cores (shared rule — their spans must be
+        bit-identical): bound the span by the next *scheduling event* —
+        the caller's ``horizon`` and the next future arrival.  An
+        arrived-but-blocked head is no bound: FIFO admission stays blocked
+        until a retirement, and a retirement ends the span anyway.  The
+        step count to reach the bound is estimated from the current batch
+        state (one kernel probe); spans may overshoot the bound by part of
+        a step, matching the atomic in-flight iteration a real engine
+        finishes before admitting new work.  ``pressure`` (work that may
+        be injected *before* the horizon, e.g. disaggregated handoffs)
+        still forces single-step boundaries.
+        """
+        scheduler = self.scheduler
+        engine = self.engine
+        table = scheduler.table
+        if table is not None:
+            min_remaining = table.min_remaining()
+        else:
+            min_remaining = min(
+                r.output_tokens - r.generated_tokens for r in scheduler.running
+            )
+        if min_remaining <= 1 or not engine.coalesce:
             return 1
-        # An admission opportunity mid-span would change the batch: only
-        # coalesce when nothing is waiting (arrived or future) — including
-        # requests a cluster router has not routed here yet (``pressure``).
-        if self.scheduler.waiting:
-            return 1
+        if engine.core == "legacy":
+            if scheduler.waiting:
+                return 1
+            if self._pressure is not None and self._pressure():
+                return 1
+            return min_remaining
         if self._pressure is not None and self._pressure():
             return 1
-        return min_remaining
+        limit = horizon
+        if scheduler.waiting:
+            at = scheduler.next_future_arrival(self.now)
+            if at is not None and (limit is None or at < limit):
+                limit = at
+        if limit is None:
+            return min_remaining
+        batch = len(scheduler.running)
+        if table is not None:
+            ctx_sum = table.context_sum()
+        else:
+            ctx_sum = sum(r.context_length for r in scheduler.running)
+        est = engine.kernel.decode_step(
+            batch, max(1, round(ctx_sum / batch))
+        ).total_s
+        if self.cost_scale != 1.0:
+            est *= self.cost_scale
+        k = math.ceil((limit - self.now) / est)
+        if k < 1:
+            k = 1
+        return min(min_remaining, k)
 
     # ------------------------------------------------------------------
     # Observability helpers (no-ops unless a recording tracer is set).
@@ -605,7 +766,7 @@ class EngineRun:
             return
         now = self.now
         scheduler = self.scheduler
-        arrived = sum(1 for r in scheduler.waiting if r.arrival_time <= now)
+        arrived = scheduler.arrived_count(now)
         registry.gauge("queue_depth").set(arrived, ts_s=now)
         registry.gauge("batch_size").set(len(scheduler.running), ts_s=now)
         allocator = scheduler.allocator

@@ -6,16 +6,32 @@ max-concurrency limit allow, "even if the requests arrive at different
 times or have different input context lengths".  Static batching
 (llama.cpp) admits a full batch only when the engine is idle and holds it
 to completion.
+
+Two auxiliary structures keep the engine's per-iteration bookkeeping
+O(log n) instead of O(n):
+
+* a sorted list of waiting arrival times (``next_arrival`` is its head,
+  ``arrived_count`` a bisect) — submissions arrive in nondecreasing order
+  so maintenance is an O(1) append in the common case, and preemptions
+  re-insert via ``insort``;
+* an optional :class:`~repro.runtime.soa.RequestTable` mirroring the
+  running set as numpy columns for the vectorized engine core
+  (``track_soa=True``); every running-list mutation updates the table so
+  row ``i`` always describes ``running[i]``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.request import GenerationRequest, RequestState
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.paged_kv import KVAllocator
+from repro.runtime.soa import RequestTable
 
 __all__ = ["SchedulerStats", "Scheduler", "ContinuousBatchingScheduler", "StaticBatchingScheduler"]
 
@@ -42,6 +58,7 @@ class Scheduler:
         max_concurrency: int,
         optimistic: bool = False,
         tracer: Tracer = NULL_TRACER,
+        track_soa: bool = False,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
@@ -56,15 +73,59 @@ class Scheduler:
         self.waiting: deque[GenerationRequest] = deque()
         self.running: list[GenerationRequest] = []
         self.stats = SchedulerStats()
+        # Sorted arrival times of everything in ``waiting`` (parallel
+        # multiset, not parallel order): submissions arrive nondecreasing
+        # so the common-case update is an O(1) append.
+        self._arrivals: list[float] = []
+        self.table: RequestTable | None = RequestTable() if track_soa else None
 
     def submit(self, request: GenerationRequest) -> None:
         if request.state != RequestState.QUEUED:
             raise ValueError(f"request {request.request_id} is not queued")
         self.waiting.append(request)
+        arrivals = self._arrivals
+        at = request.arrival_time
+        if not arrivals or at >= arrivals[-1]:
+            arrivals.append(at)
+        else:
+            insort(arrivals, at)
 
     @property
     def has_work(self) -> bool:
         return bool(self.waiting) or bool(self.running)
+
+    def next_arrival(self) -> float:
+        """Earliest arrival time among waiting requests, O(1).
+
+        Exact equivalent of ``min(r.arrival_time for r in waiting)``:
+        the sorted multiset holds precisely the waiting set's arrival
+        times (tests assert the equivalence under preemption churn).
+        """
+        return self._arrivals[0]
+
+    def arrived_count(self, now: float) -> int:
+        """How many waiting requests have ``arrival_time <= now``, O(log n)."""
+        return bisect_right(self._arrivals, now)
+
+    def next_future_arrival(self, now: float) -> float | None:
+        """Earliest waiting arrival strictly after ``now`` (None if none).
+
+        The span-coalescing bound: already-arrived requests cannot bound a
+        decode span (FIFO admission stays blocked until a retirement, which
+        ends the span anyway), but a future arrival is a scheduling event
+        the span must not skip.
+        """
+        arrivals = self._arrivals
+        i = bisect_right(arrivals, now)
+        return arrivals[i] if i < len(arrivals) else None
+
+    def _pop_head(self) -> GenerationRequest:
+        """Remove and return the waiting head, maintaining the arrival index."""
+        request = self.waiting.popleft()
+        arrivals = self._arrivals
+        # Any slot holding an equal float is interchangeable.
+        del arrivals[bisect_left(arrivals, request.arrival_time)]
+        return request
 
     def _admission_tokens(self, request: GenerationRequest) -> int:
         """Tokens whose blocks must be free to admit this request."""
@@ -88,6 +149,8 @@ class Scheduler:
         if request.admit_time is None:
             request.admit_time = now
         self.running.append(request)
+        if self.table is not None:
+            self.table.append(request)
         self.stats.admitted += 1
         if self.tracer.enabled:
             self.tracer.instant(
@@ -106,9 +169,12 @@ class Scheduler:
         if request not in self.running:
             raise ValueError(f"request {request.request_id} is not running")
         self.allocator.free(request.request_id)
+        if self.table is not None:
+            self.table.drop(self.running.index(request))
         self.running.remove(request)
         request.mark_preempted()
         self.waiting.appendleft(request)
+        insort(self._arrivals, request.arrival_time)
         self.stats.preemptions += 1
         if self.tracer.enabled:
             self.tracer.instant(
@@ -125,11 +191,27 @@ class Scheduler:
 
     def retire_finished(self) -> list[GenerationRequest]:
         """Remove finished requests from the running set and free their KV."""
-        done = [r for r in self.running if r.is_finished]
+        table = self.table
+        if table is None:
+            done = [r for r in self.running if r.is_finished]
+            for request in done:
+                self.allocator.free(request.request_id)
+                self.stats.finished += 1
+            self.running = [r for r in self.running if not r.is_finished]
+            return done
+        finished = table.finished_rows()
+        if len(finished) == 0:
+            return []
+        running = self.running
+        done = [running[i] for i in finished.tolist()]
         for request in done:
             self.allocator.free(request.request_id)
             self.stats.finished += 1
-        self.running = [r for r in self.running if not r.is_finished]
+        keep = np.setdiff1d(
+            np.arange(table.n, dtype=np.intp), finished, assume_unique=True
+        )
+        self.running = [running[i] for i in keep.tolist()]
+        table.compact(keep)
         return done
 
 
@@ -144,7 +226,7 @@ class ContinuousBatchingScheduler(Scheduler):
                 break
             if not self._can_admit(request):
                 break
-            self.waiting.popleft()
+            self._pop_head()
             self._admit_one(request, now)
             admitted.append(request)
         if admitted:
@@ -165,7 +247,7 @@ class StaticBatchingScheduler(Scheduler):
                 break
             if not self._can_admit(request):
                 break
-            self.waiting.popleft()
+            self._pop_head()
             self._admit_one(request, now)
             admitted.append(request)
         if admitted:
