@@ -1,4 +1,4 @@
-"""Analysis tooling: bottleneck attribution, peak-batch search, energy."""
+"""Analysis tooling: bottlenecks, peak-batch search, deployment optimization."""
 
 from repro.analysis.bottleneck import (
     Bottleneck,
@@ -8,11 +8,25 @@ from repro.analysis.bottleneck import (
 )
 from repro.analysis.sweeps import PeakBatchResult, find_peak_batch, throughput_curve
 
+# Imported after sweeps/bottleneck on purpose: the optimizer pulls in
+# repro.experiments, whose bench extensions import back from
+# repro.analysis — the names they need must already be bound.
+from repro.analysis.optimize import (  # noqa: E402
+    OptimizationReport,
+    ScreenedConfig,
+    SearchSpace,
+    optimize,
+)
+
 __all__ = [
     "Bottleneck",
     "BottleneckReport",
+    "OptimizationReport",
     "PhaseAttribution",
+    "ScreenedConfig",
+    "SearchSpace",
     "analyze",
+    "optimize",
     "PeakBatchResult",
     "find_peak_batch",
     "throughput_curve",

@@ -1,0 +1,54 @@
+"""Fleet-scale what-if optimizer: Pareto search over the deployment space.
+
+Turns the paper's cross-accelerator comparison grid into an automated
+search: a declarative :class:`SearchSpace` (hardware zoo x framework x
+parallelism x quantization x batch, plus one workload shape, SLO, and
+routing options), a two-stage evaluator (vectorized analytic screening
+through the step-cost kernel, optional discrete-event refinement through
+the cluster capacity planner), exact Pareto-frontier extraction, and a
+byte-deterministic :class:`OptimizationReport` artifact.
+
+See ``docs/optimize.md`` for objectives, frontier definitions and the
+screening-vs-refinement accuracy trade-off.
+"""
+
+from repro.analysis.optimize.evaluate import (
+    OBJECTIVES,
+    RefinedCandidate,
+    ScreenedConfig,
+    ScreeningStats,
+    best_config,
+    refine,
+    screen,
+)
+from repro.analysis.optimize.pareto import dominates, non_dominated_indices
+from repro.analysis.optimize.report import (
+    FRONTIER_NAMES,
+    OptimizationReport,
+    extract_frontiers,
+    optimize,
+)
+from repro.analysis.optimize.space import (
+    DeploymentCandidate,
+    SearchSpace,
+    build_deployment,
+)
+
+__all__ = [
+    "FRONTIER_NAMES",
+    "OBJECTIVES",
+    "DeploymentCandidate",
+    "OptimizationReport",
+    "RefinedCandidate",
+    "ScreenedConfig",
+    "ScreeningStats",
+    "SearchSpace",
+    "best_config",
+    "build_deployment",
+    "dominates",
+    "extract_frontiers",
+    "non_dominated_indices",
+    "optimize",
+    "refine",
+    "screen",
+]

@@ -1,0 +1,53 @@
+"""Exact non-dominated-set extraction.
+
+Minimization convention throughout: a point ``a`` *dominates* ``b`` when
+``a`` is no worse on every objective and strictly better on at least
+one.  Maximized objectives are negated by the caller before extraction.
+
+The extractor is the exact O(n^2) pairwise definition — no sorting
+heuristics, no epsilon — so the frontier equals the brute-force
+non-dominated set by construction (and the test suite cross-checks it
+against an independent brute-force pass anyway).  Ties are kept: two
+identical points do not dominate each other, and both survive, which
+keeps extraction order-independent and therefore deterministic under the
+search space's fixed enumeration order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["dominates", "non_dominated_indices"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (minimization)."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def non_dominated_indices(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices (input order) of the exact non-dominated subset.
+
+    NaN objectives are rejected outright — NaN comparisons are false in
+    both directions, which would make "dominated" silently depend on
+    operand order.  Callers filter unevaluable candidates (OOM lanes,
+    infeasible replica counts) *before* extraction; infinities are legal
+    (an inf objective simply never wins that dimension).
+    """
+    for index, point in enumerate(points):
+        if any(math.isnan(value) for value in point):
+            raise ValueError(f"point {index} has NaN objectives: {tuple(point)}")
+    frontier: list[int] = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            frontier.append(i)
+    return frontier

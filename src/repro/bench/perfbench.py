@@ -24,7 +24,12 @@ trajectory across PRs:
   core (struct-of-arrays commits + event-horizon decode spans), with a
   scalar-core bit-identity check first;
 * **cluster_vectorized** — a multi-replica run, ``legacy`` vs ``vector``
-  core (batched replica selection + coalesced spans), same checks.
+  core (batched replica selection + coalesced spans), same checks;
+* **optimize_screening** — the deployment optimizer's analytic screening
+  pass (:func:`repro.analysis.optimize.screen`, one vectorized kernel
+  grid per deployment) vs a scalar per-config estimator loop timed on a
+  sample and extrapolated; ``configs_per_s`` is gated by the baseline's
+  ``min_configs_per_s`` floor.
 
 Every pair is checked for agreement before timings are reported — a
 benchmark that got faster by computing something else is a bug, not a win.
@@ -409,8 +414,93 @@ def _bench_scenario_trace(reduced: bool, repeats: int) -> dict[str, float]:
     }
 
 
+def _bench_optimize_screening(reduced: bool, repeats: int) -> dict[str, float]:
+    """Optimizer screening throughput: configurations priced per second.
+
+    ``after_s`` is a full :func:`repro.analysis.optimize.screen` pass —
+    one vectorized ``evaluate_grid`` call per valid deployment covering
+    the whole batch axis.  The honest "before" (the repo's pre-optimizer
+    capability: one scalar ``InferenceEstimator.estimate`` per
+    configuration) would take minutes at this scale, so it is timed on a
+    deterministic sample and extrapolated linearly to the screened count
+    (``extrapolated_before`` flags the entry).  Sampled lanes are checked
+    against the screening grid first — same kernel, so they must agree to
+    float-reassociation tolerance.
+
+    The full (non-reduced) space deliberately crosses the 10^4-config
+    bar from the ISSUE 9 acceptance criteria; the entry raises if the
+    valid subset ever shrinks below it.  ``configs_per_s`` is the CI
+    regression metric (``min_configs_per_s`` floor in baseline.json).
+    """
+    from repro.analysis.optimize import SearchSpace, build_deployment, screen
+
+    if reduced:
+        space = SearchSpace(
+            models=("llama-2-7b", "llama-3-8b"),
+            hardware=("A100", "H100", "MI300X"),
+            frameworks=("vLLM", "TRT-LLM"),
+            quant_schemes=("fp16", "fp8", "int8"),
+            tensor_parallel=(1, 2, 4),
+            batch_sizes=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        required = 0
+    else:
+        space = SearchSpace(
+            models=(
+                "llama-2-7b", "llama-3-8b", "mistral-7b", "qwen2-7b",
+                "gemma-7b", "qwen1.5-7b", "llama-7b", "decilm-7b",
+            ),
+            hardware=("A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2", "SN40L"),
+            frameworks=("vLLM", "TRT-LLM", "DeepSpeed-MII"),
+            quant_schemes=("fp16", "fp8", "int8"),
+            tensor_parallel=(1, 2, 4),
+            batch_sizes=(
+                1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
+                48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+            ),
+        )
+        required = 10_000
+
+    configs, stats = screen(space)
+    if stats.configs_screened < required:
+        raise AssertionError(
+            f"screening covered {stats.configs_screened} configs, "
+            f"acceptance bar is {required}"
+        )
+
+    workload_tokens = (space.input_tokens, space.output_tokens)
+    sample = [c for c in configs[:: max(1, len(configs) // 16)] if not c.oom]
+
+    def scalar_sample() -> None:
+        for c in sample:
+            dep = build_deployment(c.model, c.hardware, c.framework, c.quant, c.tp)
+            InferenceEstimator(dep, kernel=DirectStepCost(dep)).estimate(
+                GenerationConfig(*workload_tokens, c.batch_size)
+            )
+
+    for c in sample:
+        dep = build_deployment(c.model, c.hardware, c.framework, c.quant, c.tp)
+        metrics = InferenceEstimator(dep, kernel=DirectStepCost(dep)).estimate(
+            GenerationConfig(*workload_tokens, c.batch_size)
+        )
+        if not _close(metrics.end_to_end_latency_s, c.e2e_s):
+            raise AssertionError(f"screening disagrees with estimator at {c.key}")
+
+    before_sample = _best_of(scalar_sample, repeats)
+    before = before_sample * (stats.configs_screened / len(sample))
+    after = _best_of(lambda: screen(space), repeats)
+    return {
+        "configs": float(stats.configs_screened),
+        "configs_per_s": stats.configs_screened / after,
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "extrapolated_before": 1.0,
+    }
+
+
 def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
-    """Run the eight before/after benchmarks and assemble a report."""
+    """Run the nine before/after benchmarks and assemble a report."""
     if repeats is None:
         repeats = 2 if reduced else 3
     dep = _reference_deployment()
@@ -430,6 +520,7 @@ def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchRe
         "cluster_vectorized": _bench_cluster_vectorized(
             dep, kernel, reduced, repeats
         ),
+        "optimize_screening": _bench_optimize_screening(reduced, repeats),
     }
     return BenchReport(
         date=datetime.date.today().isoformat(),
@@ -491,6 +582,14 @@ def check_regression(
             failures.append(
                 f"{name} speedup regressed: {speedup:.1f}x < "
                 f"required {min_speedup:g}x (legacy vs vector core)"
+            )
+    if "optimize_screening" in baseline:
+        min_rate = baseline["optimize_screening"]["min_configs_per_s"]
+        config_rate = report.benchmarks["optimize_screening"]["configs_per_s"]
+        if config_rate < min_rate:
+            failures.append(
+                "optimize screening rate regressed: "
+                f"{config_rate:.0f} configs/s < floor {min_rate:g}"
             )
     return failures
 

@@ -29,6 +29,15 @@ cluster --model M --hardware H --framework F [--replicas N] [--router R]
     injects a fault schedule and ``--autoscale POLICY`` scales the fleet
     mid-run; ``--result-output`` writes the deterministic result JSON
     the CI chaos job diffs across repeat runs.
+optimize --models M,.. --hardware H,.. --frameworks F,.. [--objective O]
+    Search the deployment cross product (models x hardware x frameworks
+    x quantization x TP x batch) for the minimum cost-per-token or
+    energy-per-token configuration meeting the SLO at a target request
+    rate, and emit exact Pareto frontiers (cost-vs-SLO,
+    energy-vs-latency, throughput-vs-perplexity).  ``--refine-top K``
+    re-evaluates the best K deployments through the discrete-event
+    capacity planner; ``--output`` writes the byte-deterministic
+    ``OptimizationReport`` JSON the CI optimize job diffs.
 experiment run|replay|compare|diff
     Cross-run statistics (``repro.experiments``): ``run`` executes a
     multi-seed replication from a spec JSON and writes a self-describing
@@ -356,6 +365,41 @@ def build_parser() -> argparse.ArgumentParser:
                           help="significance level (bundle inputs only)")
     exp_diff.add_argument("--output", default=None, metavar="PATH",
                           help="write the diff JSON here")
+
+    opt_p = sub.add_parser(
+        "optimize",
+        help="Pareto search over the deployment space for cost/energy",
+    )
+    opt_p.add_argument("--space", default=None, metavar="PATH",
+                       help="SearchSpace JSON (overrides the axis flags)")
+    opt_p.add_argument("--models", default="llama-2-7b",
+                       help="comma-separated model names")
+    opt_p.add_argument("--hardware", default="A100,H100",
+                       help="comma-separated hardware names")
+    opt_p.add_argument("--frameworks", default="vLLM",
+                       help="comma-separated framework names")
+    opt_p.add_argument("--quant", default="fp16",
+                       help="comma-separated quant schemes (fp16,fp8,int8)")
+    opt_p.add_argument("--tp", default="1",
+                       help="comma-separated tensor-parallel degrees")
+    opt_p.add_argument("--batch-sizes", default="1,8,16,32",
+                       help="comma-separated batch sizes")
+    opt_p.add_argument("--routers", default="least-outstanding",
+                       help="comma-separated routers for the refinement stage")
+    opt_p.add_argument("--input-tokens", type=int, default=512)
+    opt_p.add_argument("--output-tokens", type=int, default=256)
+    opt_p.add_argument("--target-rate", type=float, default=4.0,
+                       help="offered request rate to provision for (req/s)")
+    opt_p.add_argument("--max-replicas", type=int, default=16)
+    opt_p.add_argument("--objective", default="cost_per_token",
+                       choices=("cost_per_token", "energy_per_token",
+                                "joules_per_token"))
+    opt_p.add_argument("--refine-top", type=int, default=0, metavar="K",
+                       help="discrete-event refinement of the best K deployments")
+    opt_p.add_argument("--seed", type=int, default=0,
+                       help="seed for the refinement stage's planner probes")
+    opt_p.add_argument("--output", default=None, metavar="PATH",
+                       help="write the OptimizationReport JSON here")
 
     bench_p = sub.add_parser(
         "bench",
@@ -877,6 +921,45 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.analysis.optimize import SearchSpace, optimize
+    from repro.runtime.loadgen import ServiceLevelObjective
+
+    if args.space:
+        import json as _json
+
+        with open(args.space, encoding="utf-8") as fh:
+            space = SearchSpace.from_json_dict(_json.load(fh))
+    else:
+        def _names(raw: str) -> tuple[str, ...]:
+            return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+        space = SearchSpace(
+            models=_names(args.models),
+            hardware=_names(args.hardware),
+            frameworks=_names(args.frameworks),
+            quant_schemes=_names(args.quant),
+            tensor_parallel=tuple(int(v) for v in _names(args.tp)),
+            batch_sizes=tuple(int(v) for v in _names(args.batch_sizes)),
+            routers=_names(args.routers),
+            input_tokens=args.input_tokens,
+            output_tokens=args.output_tokens,
+            target_rate_rps=args.target_rate,
+            max_replicas=args.max_replicas,
+            slo=ServiceLevelObjective(),
+        )
+    report = optimize(
+        space,
+        objective=args.objective,
+        refine_top=args.refine_top,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.output:
+        _write_json(args.output, report.to_json_dict())
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perfbench import (
         check_regression,
@@ -1036,6 +1119,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "experiment":

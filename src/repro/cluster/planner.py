@@ -14,6 +14,7 @@ and shared-prefix workloads where the closed form has nothing to say.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -37,6 +38,17 @@ __all__ = ["CapacityPlan", "ClusterCapacityPlanner", "TraceFactory"]
 TraceFactory = Callable[[int, float, int], "list[GenerationRequest]"]
 
 
+def _json_num(value: float) -> float | None:
+    """JSON-safe scalar (non-finite -> null), the snapshot convention."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _from_json_num(value: object) -> float:
+    """Inverse of :func:`_json_num`; ``null`` loads back as NaN."""
+    return float("nan") if value is None else float(value)  # type: ignore[arg-type]
+
+
 @dataclass(frozen=True)
 class CapacityPlan:
     """Outcome of one planning run."""
@@ -58,6 +70,39 @@ class CapacityPlan:
             f"target {self.target_rate_rps:.2f} req/s within SLO -> {verdict} "
             f"(closed-form estimate {self.analytic_replicas}, "
             f"{len(self.probes)} probes)\n{self.report.render()}"
+        )
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Deterministic JSON view, mirroring the snapshot conventions.
+
+        Optimizer artifacts (:mod:`repro.analysis.optimize`) embed plans
+        losslessly; probe attainments on empty probe runs are NaN and
+        survive as ``null``.
+        """
+        return {
+            "target_rate_rps": _json_num(self.target_rate_rps),
+            "num_replicas": self.num_replicas,
+            "analytic_replicas": self.analytic_replicas,
+            "feasible": self.feasible,
+            "report": self.report.to_json_dict(),
+            "probes": [
+                [replicas, _json_num(attainment)]
+                for replicas, attainment in self.probes
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "CapacityPlan":
+        return cls(
+            target_rate_rps=_from_json_num(payload["target_rate_rps"]),
+            num_replicas=int(payload["num_replicas"]),  # type: ignore[arg-type]
+            analytic_replicas=int(payload["analytic_replicas"]),  # type: ignore[arg-type]
+            feasible=bool(payload["feasible"]),
+            report=LoadReport.from_json_dict(payload["report"]),  # type: ignore[arg-type]
+            probes=tuple(
+                (int(replicas), _from_json_num(attainment))
+                for replicas, attainment in payload["probes"]  # type: ignore[union-attr]
+            ),
         )
 
 

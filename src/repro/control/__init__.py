@@ -18,6 +18,8 @@ from repro.control.autoscale import (
     NullAutoscaler,
     QueueDepthAutoscaler,
     SLOAutoscaler,
+    autoscaler_from_plan,
+    derive_autoscaler_bounds,
     get_autoscaler,
     list_autoscalers,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "QueueDepthAutoscaler",
     "RetryPolicy",
     "SLOAutoscaler",
+    "autoscaler_from_plan",
+    "derive_autoscaler_bounds",
     "get_autoscaler",
     "list_autoscalers",
 ]

@@ -35,6 +35,8 @@ __all__ = [
     "QueueDepthAutoscaler",
     "SLOAutoscaler",
     "AUTOSCALER_NAMES",
+    "autoscaler_from_plan",
+    "derive_autoscaler_bounds",
     "get_autoscaler",
     "list_autoscalers",
 ]
@@ -195,3 +197,62 @@ def get_autoscaler(
 
 def list_autoscalers() -> list[str]:
     return sorted(AUTOSCALER_NAMES)
+
+
+# ----------------------------------------------------------------------
+# Capacity-plan-derived bounds (PR-4 follow-on).
+#
+# ``plan`` is duck-typed rather than annotated as
+# ``repro.cluster.planner.CapacityPlan`` because ``repro.cluster`` imports
+# ``repro.control`` (the simulator hosts the control plane); any object
+# with ``num_replicas``/``analytic_replicas``/``feasible`` works.
+
+
+def derive_autoscaler_bounds(plan, surge_factor: float = 1.5) -> tuple[int, int]:
+    """(min_replicas, max_replicas) from a capacity plan.
+
+    The plan's ``num_replicas`` is the smallest fleet that met the SLO
+    attainment target at the planned rate, so it becomes the floor —
+    scaling below it would shed the planned goodput.  The ceiling leaves
+    ``surge_factor`` headroom above the floor (rounded up, never below
+    floor + 1 so the policy retains one step of surge room).  Infeasible
+    plans raise: deriving bounds from a fleet that missed its target
+    would institutionalise the miss.
+    """
+    if not surge_factor >= 1.0:
+        raise ValueError(f"surge_factor must be >= 1, got {surge_factor}")
+    if not plan.feasible:
+        raise ValueError(
+            f"capacity plan is infeasible at {plan.num_replicas} replicas; "
+            "raise max_replicas in the planner before deriving bounds"
+        )
+    floor = int(plan.num_replicas)
+    ceiling = max(floor + 1, math.ceil(floor * surge_factor))
+    return floor, ceiling
+
+
+def autoscaler_from_plan(
+    name: str,
+    plan,
+    slo: ServiceLevelObjective | None = None,
+    surge_factor: float = 1.5,
+    **kwargs,
+) -> AutoscalePolicy:
+    """A registry policy sized by a capacity plan.
+
+    The optimizer uses this to turn each frontier candidate's
+    :class:`~repro.cluster.planner.CapacityPlan` into concrete
+    ``QueueDepthAutoscaler``/``SLOAutoscaler`` parameters; explicit
+    ``min_replicas``/``max_replicas`` kwargs would conflict with the
+    derived bounds and are rejected.
+    """
+    for bound in ("min_replicas", "max_replicas"):
+        if bound in kwargs:
+            raise ValueError(
+                f"{bound} is derived from the capacity plan; "
+                "drop the explicit kwarg or call get_autoscaler directly"
+            )
+    floor, ceiling = derive_autoscaler_bounds(plan, surge_factor=surge_factor)
+    return get_autoscaler(
+        name, slo=slo, min_replicas=floor, max_replicas=ceiling, **kwargs
+    )

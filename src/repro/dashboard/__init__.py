@@ -5,6 +5,7 @@ from repro.dashboard.html import (
     comparison_section_html,
     dashboard_html,
     metrics_section_html,
+    optimize_section_html,
     profile_section_html,
     replication_section_html,
     scenarios_section_html,
@@ -16,6 +17,7 @@ __all__ = [
     "comparison_section_html",
     "dashboard_html",
     "metrics_section_html",
+    "optimize_section_html",
     "profile_section_html",
     "replication_section_html",
     "scenarios_section_html",

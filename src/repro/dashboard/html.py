@@ -17,6 +17,7 @@ from repro.bench.experiments import EXPERIMENTS, ExperimentResult
 from repro.obs.metrics import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.optimize import OptimizationReport
     from repro.cluster.simulator import ClusterResult
     from repro.experiments.compare import ComparisonReport
     from repro.experiments.runner import ReplicationReport
@@ -502,6 +503,87 @@ def scenarios_section_html(
     return "\n".join(parts)
 
 
+def optimize_section_html(report: "OptimizationReport") -> str:
+    """Static HTML fragment for an optimizer run's Pareto frontiers.
+
+    Headline verdict (best configuration for the report's objective)
+    followed by one table per frontier, sorted along the frontier so
+    each table reads as the trade-off curve top to bottom.  Embeddable
+    via ``dashboard_html``'s ``optimization`` argument.
+    """
+    import math as _math
+
+    fmt = lambda v: f"{v:.4g}" if _math.isfinite(v) else "&mdash;"  # noqa: E731
+    stats = report.stats
+    parts = ["<h2>Deployment optimization</h2>"]
+    parts.append(
+        "<p class='note'>Pareto search over the deployment space "
+        "(<code>repro.analysis.optimize</code>): "
+        f"{stats.configs_screened}/{stats.configs_nominal} configurations "
+        f"screened ({stats.skipped_invalid} invalid, {stats.oom_lanes} OOM "
+        "lanes), target "
+        f"{report.space.target_rate_rps:.2g} req/s at "
+        f"{report.space.input_tokens}/{report.space.output_tokens} tokens.</p>"
+    )
+    best = report.best
+    if best is None:
+        parts.append(
+            "<p class='note'>No configuration meets the SLO within "
+            f"{report.space.max_replicas} replicas.</p>"
+        )
+    else:
+        parts.append(
+            f"<p>Best <b>{html.escape(report.objective)}</b>: "
+            f"<code>{html.escape(best.key)}</code> &mdash; "
+            f"{best.cost_per_token_usd:.3e} $/token, "
+            f"{best.energy_per_token_j:.3g} J/token, "
+            f"{best.replicas} replica(s) &times; {best.num_devices} "
+            "device(s)</p>"
+        )
+    for name, members in sorted(report.frontiers.items()):
+        parts.append(f"<h3>{html.escape(name.replace('_', ' '))}</h3>")
+        parts.append(
+            "<table class='data'><tr><th>configuration</th><th>replicas</th>"
+            "<th>$/token</th><th>J/token</th><th>tok/s</th><th>e2e (s)</th>"
+            "<th>SLO headroom</th><th>perplexity</th></tr>"
+        )
+        for c in members:
+            parts.append(
+                f"<tr><td><code>{html.escape(c.key)}</code></td>"
+                f"<td>{c.replicas}</td>"
+                f"<td>{fmt(c.cost_per_token_usd)}</td>"
+                f"<td>{fmt(c.energy_per_token_j)}</td>"
+                f"<td>{fmt(c.throughput_tokens_per_s)}</td>"
+                f"<td>{fmt(c.e2e_s)}</td>"
+                f"<td>{fmt(c.slo_headroom)}</td>"
+                f"<td>{fmt(c.perplexity)}</td></tr>"
+            )
+        parts.append("</table>")
+    if report.refined:
+        parts.append("<h3>Discrete-event refinement</h3>")
+        parts.append(
+            "<table class='data'><tr><th>configuration</th><th>router</th>"
+            "<th>planned replicas</th><th>feasible</th>"
+            "<th>autoscaler bounds</th></tr>"
+        )
+        for r in report.refined:
+            plan = r.capacity_plan
+            bounds = (
+                f"[{r.autoscaler_min_replicas}, {r.autoscaler_max_replicas}]"
+                if r.autoscaler_min_replicas is not None
+                else "&mdash;"
+            )
+            parts.append(
+                f"<tr><td><code>{html.escape(r.config.key)}</code></td>"
+                f"<td>{html.escape(r.router)}</td>"
+                f"<td>{plan.num_replicas}</td>"
+                f"<td>{'yes' if plan.feasible else 'no'}</td>"
+                f"<td>{bounds}</td></tr>"
+            )
+        parts.append("</table>")
+    return "\n".join(parts)
+
+
 def dashboard_html(
     results: list[ExperimentResult],
     metrics: MetricsSnapshot | None = None,
@@ -510,6 +592,7 @@ def dashboard_html(
     replication: "ReplicationReport | None" = None,
     comparison: "ComparisonReport | None" = None,
     scenarios: "list[Scenario] | None" = None,
+    optimization: "OptimizationReport | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
@@ -521,7 +604,9 @@ def dashboard_html(
     ``replication`` and ``comparison`` (optional) append the
     confidence-interval and A/B-significance sections from
     :mod:`repro.experiments`; ``scenarios`` (optional) appends the
-    traffic-scenario catalog from :mod:`repro.scenarios`.
+    traffic-scenario catalog from :mod:`repro.scenarios`;
+    ``optimization`` (optional) appends the Pareto-frontier section from
+    :mod:`repro.analysis.optimize`.
     """
     if not results:
         raise ValueError("no results to render")
@@ -562,6 +647,10 @@ def dashboard_html(
         metrics_html += (
             "\n" if metrics_html else ""
         ) + scenarios_section_html(scenarios)
+    if optimization is not None:
+        metrics_html += (
+            "\n" if metrics_html else ""
+        ) + optimize_section_html(optimization)
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -574,6 +663,7 @@ def write_dashboard(
     replication: "ReplicationReport | None" = None,
     comparison: "ComparisonReport | None" = None,
     scenarios: "list[Scenario] | None" = None,
+    optimization: "OptimizationReport | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
@@ -586,6 +676,7 @@ def write_dashboard(
             replication=replication,
             comparison=comparison,
             scenarios=scenarios,
+            optimization=optimization,
         ),
         encoding="utf-8",
     )

@@ -22,6 +22,13 @@ __all__ = ["Vendor", "InterconnectSpec", "MemoryTierSpec", "HardwareSpec"]
 GB = 1024.0**3
 TB = 1024.0**4
 
+# Default amortized fleet cost, USD per device-kW-hour, used when a spec
+# carries no explicit ``cost_per_hour``.  Covers energy + amortized capex +
+# hosting at a flat rate proportional to board TDP — a deliberately crude
+# fallback so cost-per-token objectives stay computable for ad-hoc specs;
+# every entry in :mod:`repro.hardware.zoo` sets an explicit market rate.
+DEFAULT_USD_PER_KW_HOUR = 3.0
+
 
 class Vendor(str, enum.Enum):
     NVIDIA = "nvidia"
@@ -122,6 +129,13 @@ class HardwareSpec:
     # multiplier on KV bytes (Gaudi2's larger static workspaces).
     workspace_overhead_factor: float = 0.05
 
+    # ---- fleet economics (optimizer metadata) ----
+    # Amortized per-device cost in USD/hour (on-demand cloud rate or
+    # amortized capex + power + hosting).  ``None`` falls back to the
+    # documented TDP-proportional default (``DEFAULT_USD_PER_KW_HOUR``);
+    # registry entries set explicit rates, validated at registration.
+    cost_per_hour: float | None = None
+
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -141,6 +155,11 @@ class HardwareSpec:
             raise ValueError("memory_utilization must be in (0, 1]")
         if self.idle_power_w < 0 or self.tdp_w <= self.idle_power_w:
             raise ValueError("need 0 <= idle power < TDP")
+        if self.cost_per_hour is not None and not self.cost_per_hour > 0:
+            raise ValueError(
+                f"{self.name}: cost_per_hour must be positive, "
+                f"got {self.cost_per_hour}"
+            )
         if Precision.FP16 not in self.supported_precisions and (
             Precision.BF16 not in self.supported_precisions
         ):
@@ -187,6 +206,19 @@ class HardwareSpec:
                 f"{self.devices_per_node}"
             )
         return num_devices * self.memory_per_device_bytes * self.memory_utilization
+
+    @property
+    def hourly_cost(self) -> float:
+        """Per-device USD/hour: explicit rate or the TDP-derived default.
+
+        The fallback prices a device at ``DEFAULT_USD_PER_KW_HOUR`` per
+        kilowatt of board TDP, so cost-per-token objectives are always
+        computable; boards with an explicit ``cost_per_hour`` (every zoo
+        entry) use the market rate instead.
+        """
+        if self.cost_per_hour is not None:
+            return self.cost_per_hour
+        return self.tdp_w / 1000.0 * DEFAULT_USD_PER_KW_HOUR
 
     @property
     def effective_bandwidth_bytes_s(self) -> float:

@@ -21,6 +21,8 @@ the paper's qualitative findings per platform:
 
 from __future__ import annotations
 
+import math
+
 from repro.core.precision import Precision
 from repro.hardware.spec import (
     GB,
@@ -41,9 +43,25 @@ HARDWARE_ZOO: dict[str, HardwareSpec] = {}
 
 
 def register_hardware(spec: HardwareSpec) -> HardwareSpec:
+    """Add a platform to the registry, validating optimizer metadata.
+
+    Cost-per-token and energy-per-token objectives
+    (:mod:`repro.analysis.optimize`) must be computable for *every*
+    registered platform, so registration rejects specs whose economic
+    metadata is unusable: the hourly cost (explicit or TDP-derived) and
+    board TDP must be positive finite numbers.  ``HardwareSpec`` already
+    validates TDP > idle; this gate catches inf/NaN smuggled through
+    floats.
+    """
     key = spec.name.lower()
     if key in HARDWARE_ZOO:
         raise ValueError(f"hardware {spec.name!r} already registered")
+    for label, value in (("hourly_cost", spec.hourly_cost), ("tdp_w", spec.tdp_w)):
+        if not (math.isfinite(value) and value > 0):
+            raise ValueError(
+                f"{spec.name}: {label} must be positive and finite "
+                f"(got {value}); cost/energy objectives need it"
+            )
     HARDWARE_ZOO[key] = spec
     return spec
 
@@ -62,6 +80,7 @@ A100 = register_hardware(
         interconnect=InterconnectSpec("NVLink3", 600.0, 2.0),
         tdp_w=400.0,
         idle_power_w=60.0,
+        cost_per_hour=1.80,  # USD/device-h: Azure/Lambda A100-40GB on-demand band
         mfu_ceiling=0.55,
         bandwidth_efficiency=0.80,
         mfu_half_batch=4.0,
@@ -84,6 +103,7 @@ H100 = register_hardware(
         interconnect=InterconnectSpec("NVLink4", 900.0, 1.8),
         tdp_w=700.0,
         idle_power_w=80.0,
+        cost_per_hour=3.90,  # USD/device-h: typical H100-80GB on-demand rate
         mfu_ceiling=0.60,
         bandwidth_efficiency=0.82,
         mfu_half_batch=6.0,
@@ -106,6 +126,7 @@ GH200 = register_hardware(
         interconnect=InterconnectSpec("NVLink-C2C", 900.0, 1.5),
         tdp_w=900.0,
         idle_power_w=100.0,
+        cost_per_hour=4.80,  # USD/device-h: GH200 96GB superchip hourly (Lambda band)
         mfu_ceiling=0.62,
         bandwidth_efficiency=0.84,
         mfu_half_batch=6.0,
@@ -130,6 +151,7 @@ MI250 = register_hardware(
         interconnect=InterconnectSpec("InfinityFabric2", 350.0, 3.0),
         tdp_w=560.0,
         idle_power_w=90.0,
+        cost_per_hour=1.90,  # USD/device-h: MI250 OAM hourly (Azure ND-series band)
         mfu_ceiling=0.42,
         bandwidth_efficiency=0.60,
         mfu_half_batch=5.0,
@@ -152,6 +174,7 @@ MI300X = register_hardware(
         interconnect=InterconnectSpec("InfinityFabric3", 448.0, 2.5),
         tdp_w=750.0,
         idle_power_w=110.0,
+        cost_per_hour=3.00,  # USD/device-h: MI300X on-demand band
         mfu_ceiling=0.48,
         bandwidth_efficiency=0.65,
         mfu_half_batch=6.0,
@@ -174,6 +197,7 @@ GAUDI2 = register_hardware(
         interconnect=InterconnectSpec("RoCEv2", 300.0, 5.0),
         tdp_w=600.0,
         idle_power_w=100.0,
+        cost_per_hour=1.60,  # USD/device-h: AWS DL1-style per-device rate
         # Overlapped MME/TPC execution and many small matrix engines give
         # Gaudi2 a high achievable efficiency (beats A100, Section VI-4)...
         mfu_ceiling=0.66,
@@ -200,6 +224,7 @@ SN40L = register_hardware(
         interconnect=InterconnectSpec("Inter-RDU", 240.0, 4.0),
         tdp_w=700.0,
         idle_power_w=120.0,
+        cost_per_hour=4.50,  # USD/device-h: SambaNova cloud estimate (no public rate)
         mfu_ceiling=0.58,
         bandwidth_efficiency=0.90,
         mfu_half_batch=3.0,

@@ -10,6 +10,7 @@ token throughput.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,17 @@ __all__ = [
     "run_load_test",
     "find_max_sustainable_rate",
 ]
+
+
+def _json_num(value: float) -> float | None:
+    """JSON-safe scalar (non-finite -> null), the repo's snapshot rule."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _from_json_num(value: object) -> float:
+    """Inverse of :func:`_json_num`; ``null`` loads back as NaN."""
+    return float("nan") if value is None else float(value)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,30 @@ class TenantReport:
             f"{self.failure_rate:.0%} failed"
         )
 
+    def to_json_dict(self) -> dict[str, object]:
+        """Deterministic JSON view (non-finite -> null, like snapshots)."""
+        return {
+            "tenant": self.tenant,
+            "requests": self.requests,
+            "completed_requests": self.completed_requests,
+            "slo_attainment": _json_num(self.slo_attainment),
+            "ntpot_mean_s": _json_num(self.ntpot_mean_s),
+            "ttft_p95_s": _json_num(self.ttft_p95_s),
+            "failure_rate": _json_num(self.failure_rate),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "TenantReport":
+        return cls(
+            tenant=str(payload["tenant"]),
+            requests=int(payload["requests"]),  # type: ignore[arg-type]
+            completed_requests=int(payload["completed_requests"]),  # type: ignore[arg-type]
+            slo_attainment=_from_json_num(payload["slo_attainment"]),
+            ntpot_mean_s=_from_json_num(payload["ntpot_mean_s"]),
+            ttft_p95_s=_from_json_num(payload["ttft_p95_s"]),
+            failure_rate=_from_json_num(payload["failure_rate"]),
+        )
+
 
 @dataclass(frozen=True)
 class LoadReport:
@@ -139,6 +175,56 @@ class LoadReport:
         if self.tenants:
             line = "\n".join([line, *(t.render() for t in self.tenants)])
         return line
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Deterministic JSON view (non-finite -> null).
+
+        Mirrors the :class:`~repro.obs.metrics.MetricsSnapshot` /
+        :class:`~repro.obs.profiler.ProfileReport` conventions so
+        capacity plans and optimizer artifacts can embed load reports
+        losslessly; NaN lanes (empty completion sets) survive a
+        round-trip as NaN.
+        """
+        return {
+            "offered_rate_rps": _json_num(self.offered_rate_rps),
+            "completed_requests": self.completed_requests,
+            "makespan_s": _json_num(self.makespan_s),
+            "throughput_tokens_per_s": _json_num(self.throughput_tokens_per_s),
+            "ttft_p50_s": _json_num(self.ttft_p50_s),
+            "ttft_p95_s": _json_num(self.ttft_p95_s),
+            "ttft_p99_s": _json_num(self.ttft_p99_s),
+            "itl_mean_s": _json_num(self.itl_mean_s),
+            "slo_attainment": _json_num(self.slo_attainment),
+            "goodput_rps": _json_num(self.goodput_rps),
+            "average_power_w": _json_num(self.average_power_w),
+            "ntpot_mean_s": _json_num(self.ntpot_mean_s),
+            "failure_rate": _json_num(self.failure_rate),
+            "tenants": [t.to_json_dict() for t in self.tenants],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, object]) -> "LoadReport":
+        return cls(
+            offered_rate_rps=_from_json_num(payload["offered_rate_rps"]),
+            completed_requests=int(payload["completed_requests"]),  # type: ignore[arg-type]
+            makespan_s=_from_json_num(payload["makespan_s"]),
+            throughput_tokens_per_s=_from_json_num(
+                payload["throughput_tokens_per_s"]
+            ),
+            ttft_p50_s=_from_json_num(payload["ttft_p50_s"]),
+            ttft_p95_s=_from_json_num(payload["ttft_p95_s"]),
+            ttft_p99_s=_from_json_num(payload["ttft_p99_s"]),
+            itl_mean_s=_from_json_num(payload["itl_mean_s"]),
+            slo_attainment=_from_json_num(payload["slo_attainment"]),
+            goodput_rps=_from_json_num(payload["goodput_rps"]),
+            average_power_w=_from_json_num(payload["average_power_w"]),
+            ntpot_mean_s=_from_json_num(payload["ntpot_mean_s"]),
+            failure_rate=_from_json_num(payload["failure_rate"]),
+            tenants=tuple(
+                TenantReport.from_json_dict(t)
+                for t in payload.get("tenants", ())  # type: ignore[union-attr]
+            ),
+        )
 
 
 def _tenant_report(
