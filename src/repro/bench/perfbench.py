@@ -16,6 +16,10 @@ trajectory across PRs:
 * **profiler_overhead** — the same engine run unprofiled vs with the
   cost-attribution profiler on (``speedup`` < 1 reports the overhead of
   ``profile=True``; the CI gate stays on the unprofiled iteration rate);
+* **telemetry_overhead** — the same engine run with ``NULL_TELEMETRY``
+  vs a fresh :class:`~repro.obs.telemetry.TelemetryHub` attached
+  (``overhead_factor`` reports the cost of the streaming telemetry bus;
+  gated by the baseline's ``max_overhead_factor`` ceiling);
 * **scenario_trace** — building a :mod:`repro.scenarios` request trace
   (arrivals, multi-turn sessions, length sampling), cold vs warm, so
   trace-generation cost is tracked alongside the simulator hot paths;
@@ -290,6 +294,50 @@ def _bench_profiler_overhead(
     }
 
 
+def _bench_telemetry_overhead(
+    dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
+) -> dict[str, float]:
+    """Cost of the streaming telemetry bus: hub off vs hub attached.
+
+    ``before_s`` is the plain kernel-path run (``NULL_TELEMETRY``, the
+    default), ``after_s`` the same run with a fresh ``TelemetryHub``
+    sampling gauges, flushing completions and evaluating the SLO budget
+    on every tick.  The simulated clock must be bit-identical between
+    the two (the telemetry-off identity contract); ``overhead_factor``
+    reports the wall-clock cost of turning the bus on.  The CI
+    regression gate keys on the baseline's ``max_overhead_factor``.
+    """
+    from repro.obs.telemetry import TelemetryHub
+
+    num_requests = 24 if reduced else 64
+    trace_args = (num_requests, 4.0, 384, 160)
+
+    def run_with(telemetry: bool) -> object:
+        kwargs = {"telemetry": TelemetryHub()} if telemetry else {}
+        engine = ServingEngine(
+            dep, max_concurrency=16, kernel=kernel, **kwargs
+        )
+        return engine.run(open_loop_trace(*trace_args, seed=7))
+
+    plain_result = run_with(False)
+    telemetry_result = run_with(True)
+    if plain_result.total_time_s != telemetry_result.total_time_s:
+        raise AssertionError("telemetry changed the simulated clock")
+    if telemetry_result.telemetry is None:
+        raise AssertionError("telemetry run produced no snapshot")
+
+    before = _best_of(lambda: run_with(False), repeats)
+    after = _best_of(lambda: run_with(True), repeats)
+    return {
+        "iterations": float(plain_result.iterations),
+        "series": float(len(telemetry_result.telemetry.series)),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "overhead_factor": after / before,
+    }
+
+
 def _bench_engine_vectorized(
     dep: Deployment, kernel: StepCostKernel, reduced: bool, repeats: int
 ) -> dict[str, float]:
@@ -500,7 +548,7 @@ def _bench_optimize_screening(reduced: bool, repeats: int) -> dict[str, float]:
 
 
 def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchReport:
-    """Run the nine before/after benchmarks and assemble a report."""
+    """Run the ten before/after benchmarks and assemble a report."""
     if repeats is None:
         repeats = 2 if reduced else 3
     dep = _reference_deployment()
@@ -511,6 +559,9 @@ def run_benchmarks(reduced: bool = False, repeats: int | None = None) -> BenchRe
         "engine_iteration_rate": _bench_engine(dep, kernel, reduced, repeats),
         "cluster_run": _bench_cluster(dep, kernel, reduced, repeats),
         "profiler_overhead": _bench_profiler_overhead(
+            dep, kernel, reduced, repeats
+        ),
+        "telemetry_overhead": _bench_telemetry_overhead(
             dep, kernel, reduced, repeats
         ),
         "scenario_trace": _bench_scenario_trace(reduced, repeats),
@@ -548,7 +599,7 @@ def check_regression(
 ) -> list[str]:
     """Regression messages (empty = pass).
 
-    Two gates:
+    The gates:
 
     * the kernel-path engine iteration rate must stay above
       ``baseline / max_regression`` — the baseline is a deliberately
@@ -559,7 +610,11 @@ def check_regression(
       ``cluster_vectorized``, legacy core vs vector core on the same
       machine) must stay above the baseline's ``min_speedup`` floors.
       Ratios of two same-process timings are machine-independent, so
-      these floors are tight (10x / 5x, the ISSUE 8 acceptance bar).
+      these floors are tight (10x / 5x, the ISSUE 8 acceptance bar);
+    * the telemetry bus overhead (``telemetry_overhead``, hub attached
+      vs ``NULL_TELEMETRY`` on the same machine) must stay below the
+      baseline's ``max_overhead_factor`` ceiling — also a same-process
+      ratio, so the ceiling holds across machines.
     """
     if max_regression <= 1.0:
         raise ValueError("max_regression must be > 1.0")
@@ -582,6 +637,15 @@ def check_regression(
             failures.append(
                 f"{name} speedup regressed: {speedup:.1f}x < "
                 f"required {min_speedup:g}x (legacy vs vector core)"
+            )
+    if "telemetry_overhead" in baseline:
+        max_overhead = baseline["telemetry_overhead"]["max_overhead_factor"]
+        overhead = report.benchmarks["telemetry_overhead"]["overhead_factor"]
+        if overhead > max_overhead:
+            failures.append(
+                "telemetry overhead regressed: "
+                f"{overhead:.2f}x > ceiling {max_overhead:g}x "
+                "(hub attached vs NULL_TELEMETRY)"
             )
     if "optimize_screening" in baseline:
         min_rate = baseline["optimize_screening"]["min_configs_per_s"]

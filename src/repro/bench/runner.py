@@ -10,7 +10,8 @@ engine (slower, higher fidelity), and appends rows to a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro.core.metrics import InferenceMetrics
 from repro.core.request import GenerationConfig
@@ -24,6 +25,7 @@ from repro.models.zoo import get_model
 from repro.perf.estimator import InferenceEstimator
 from repro.perf.parallelism import ParallelismPlan
 from repro.perf.phases import Deployment
+from repro.obs.telemetry import TelemetryHub
 from repro.obs.tracer import Tracer
 from repro.perf.quantization import QuantizationScheme
 from repro.runtime.engine import EngineResult, ServingEngine
@@ -62,10 +64,17 @@ class BenchmarkRunner:
     ``use_engine=True`` swaps the closed-form estimator for the discrete-
     event serving engine (identical metrics on in-capacity workloads,
     higher fidelity under memory pressure — and slower).
+
+    ``telemetry_factory`` (engine mode only) builds a fresh
+    :class:`~repro.obs.telemetry.TelemetryHub` for every engine point;
+    each point's snapshot is appended to ``telemetry_log`` keyed by its
+    deployment/workload shape (the ``--telemetry-output`` payload).
     """
 
     use_engine: bool = False
     max_concurrency: int | None = None
+    telemetry_factory: Callable[[], TelemetryHub] | None = None
+    telemetry_log: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -111,14 +120,34 @@ class BenchmarkRunner:
         if not self.use_engine:
             return InferenceEstimator(deployment).estimate(config)
         try:
+            hub = (
+                self.telemetry_factory()
+                if self.telemetry_factory is not None
+                else None
+            )
             engine = ServingEngine(
                 deployment,
                 max_concurrency=self.max_concurrency or config.batch_size,
+                **({"telemetry": hub} if hub is not None else {}),
             )
             trace = fixed_batch_trace(
                 config.batch_size, config.input_tokens, config.output_tokens
             )
-            return engine.run(trace).to_metrics()
+            result = engine.run(trace)
+            if hub is not None and result.telemetry is not None:
+                self.telemetry_log.append(
+                    {
+                        "model": deployment.model.name,
+                        "hardware": deployment.hardware.name,
+                        "framework": deployment.framework.name,
+                        "devices": deployment.num_devices,
+                        "batch_size": config.batch_size,
+                        "input_tokens": config.input_tokens,
+                        "output_tokens": config.output_tokens,
+                        "telemetry": result.telemetry.to_json_dict(),
+                    }
+                )
+            return result.to_metrics()
         except OutOfMemoryError:
             return InferenceMetrics.out_of_memory(
                 config.batch_size, config.input_tokens, config.output_tokens

@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-output", default=None, metavar="PATH",
         help="write per-row static cost attribution (roofline shares) as JSON",
     )
+    run_p.add_argument(
+        "--telemetry-output", default=None, metavar="PATH",
+        help="stream telemetry per engine point; write the snapshots as "
+        "JSON (requires --engine)",
+    )
 
     point_p = sub.add_parser("point", help="run a single benchmark point")
     point_p.add_argument("--model", required=True)
@@ -269,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-output", default=None, metavar="PATH",
         help="profile the run; write the merged fleet ProfileReport JSON",
     )
+    cluster_p.add_argument(
+        "--telemetry-output", default=None, metavar="PATH",
+        help="attach the streaming telemetry bus; write its series and "
+        "burn-rate alert log as deterministic JSON",
+    )
 
     scen_p = sub.add_parser(
         "scenario",
@@ -309,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument(
         "--result-output", default=None, metavar="PATH",
         help="write the deterministic ClusterResult JSON here",
+    )
+    scen_run.add_argument(
+        "--telemetry-output", default=None, metavar="PATH",
+        help="attach the streaming telemetry bus (per-tenant SLO lanes); "
+        "write its series and alert log as deterministic JSON",
     )
 
     exp_p = sub.add_parser(
@@ -503,7 +518,18 @@ def _static_row_profiles(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = BenchmarkRunner(use_engine=args.engine)
+    telemetry_factory = None
+    if args.telemetry_output:
+        if not args.engine:
+            print("--telemetry-output requires --engine (the estimator has "
+                  "no event stream to sample)")
+            return 2
+        from repro.obs.telemetry import TelemetryHub
+
+        telemetry_factory = TelemetryHub
+    runner = BenchmarkRunner(
+        use_engine=args.engine, telemetry_factory=telemetry_factory
+    )
     metrics_payload: dict[str, object] = {}
     profile_payload: dict[str, object] = {}
     for eid in args.experiments:
@@ -527,6 +553,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _write_json(args.metrics_output, metrics_payload)
     if args.profile_output:
         _write_json(args.profile_output, profile_payload)
+    if args.telemetry_output:
+        _write_json(args.telemetry_output, runner.telemetry_log)
     return 0
 
 
@@ -792,6 +820,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             else NullAutoscaler()
         )
         control = ControlPlane(faults=faults, autoscaler=autoscaler)
+    telemetry = None
+    if args.telemetry_output:
+        from repro.obs.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub(slo=slo)
     simulator = ClusterSimulator(
         dep,
         args.replicas,
@@ -801,6 +834,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         control=control,
         traced=args.trace_output is not None,
         profiled=args.profile_output is not None,
+        telemetry=telemetry,
     )
     try:
         result = simulator.run(workload)
@@ -827,6 +861,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print()
         print(result.profile.render())
         _write_json(args.profile_output, result.profile.to_json_dict())
+    if args.telemetry_output:
+        assert result.telemetry is not None  # telemetry hub attached above
+        fired = sum(1 for a in result.telemetry.alerts if a.state == "firing")
+        print(f"telemetry: {len(result.telemetry.series)} series, "
+              f"{fired} alerts fired")
+        _write_json(args.telemetry_output, result.telemetry.to_json_dict())
     if args.trace_output:
         import json as _json
 
@@ -892,12 +932,18 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     trace = scenario.build(args.seed)
     runner = BenchmarkRunner(use_engine=True)
     dep = runner.deployment(args.model, args.hardware, args.framework)
+    telemetry = None
+    if args.telemetry_output:
+        from repro.obs.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub(tenant_slos=scenario.tenant_slos() or None)
     simulator = ClusterSimulator(
         dep,
         args.replicas,
         router=get_router(args.router, seed=args.seed),
         max_concurrency=args.max_concurrency,
         prefix_cache_slots=args.prefix_cache_slots,
+        telemetry=telemetry,
     )
     try:
         result = simulator.run(trace)
@@ -918,6 +964,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.result_output:
         _write_json(args.result_output, result.to_json_dict())
         print(f"wrote {args.result_output}")
+    if args.telemetry_output:
+        assert result.telemetry is not None  # telemetry hub attached above
+        _write_json(args.telemetry_output, result.telemetry.to_json_dict())
     return 0
 
 

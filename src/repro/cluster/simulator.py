@@ -47,11 +47,17 @@ import numpy as np
 
 from repro.cluster.disagg import DisaggregationSpec, kv_transfer_time
 from repro.cluster.router import LeastOutstandingTokensRouter, Router, _least_outstanding
-from repro.control.autoscale import FleetView, NullAutoscaler
+from repro.control.autoscale import (
+    BurnRateAutoscaler,
+    FleetView,
+    NullAutoscaler,
+    TelemetryFleetView,
+)
 from repro.control.plane import ControlPlane
 from repro.core.request import GenerationRequest, RequestState
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, percentile
 from repro.obs.profiler import ProfileReport, merge_profiles
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetryHub, TelemetrySnapshot
 from repro.obs.tracer import EventTracer, TraceEvent
 from repro.perf.kernel import get_kernel
 from repro.perf.phases import Deployment
@@ -97,6 +103,7 @@ class Replica:
         # fleet's base deployment); exactly 1.0 in homogeneous fleets so
         # load normalization cannot perturb routing order.
         self.capacity_weight = capacity_weight
+        self.base_capacity_weight = capacity_weight
         # Control-plane lifecycle: a replica serves from ``start_s`` (>0
         # while a scaled-up replica loads weights), ``created_s`` is when
         # the scale decision happened, ``alive``/``draining`` gate routing.
@@ -112,6 +119,18 @@ class Replica:
         self.prefix_cache_slots = prefix_cache_slots
         self._prefix_lru: dict[int, None] = {}  # insertion-ordered LRU
         self.served: list[GenerationRequest] = []  # originals routed here
+
+    def apply_telemetry_scale(self, scale: float) -> None:
+        """Re-weight routing capacity from an observed utilization signal.
+
+        A scale of exactly 1.0 restores ``base_capacity_weight`` (not
+        ``base * 1.0``), so runs whose telemetry never deviates stay
+        bit-identical to runs without the feedback loop.
+        """
+        if scale == 1.0:
+            self.capacity_weight = self.base_capacity_weight
+        else:
+            self.capacity_weight = self.base_capacity_weight * scale
 
     def touch_prefix(self, prefix_id: int) -> bool:
         """Record a prefix use; True if its KV was resident (cache hit)."""
@@ -180,6 +199,7 @@ class ClusterResult:
     fault_log: list[dict] = field(default_factory=list)
     scale_log: list[dict] = field(default_factory=list)
     profile: ProfileReport | None = None  # fleet cost attribution (profiled)
+    telemetry: TelemetrySnapshot | None = None  # streaming series + alerts
 
     def load_report(
         self,
@@ -202,9 +222,11 @@ class ClusterResult:
 
         Everything timing- and outcome-relevant, but no process-global
         request ids: requests appear in trace order, so two identical
-        seeded runs in one process diff byte-for-byte equal.
+        seeded runs in one process diff byte-for-byte equal.  The
+        ``telemetry`` key appears only on telemetry-attached runs, so
+        telemetry-off payloads are byte-identical to historical ones.
         """
-        return {
+        payload = {
             "router": self.router_name,
             "makespan_s": self.makespan_s,
             "num_requests": len(self.requests),
@@ -245,6 +267,9 @@ class ClusterResult:
             "faults": self.fault_log,
             "scale_events": self.scale_log,
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_json_dict()
+        return payload
 
     def render(self) -> str:
         lines = [
@@ -289,9 +314,13 @@ class ClusterSimulator:
     prefill-only replicas take arrivals and hand finished prompts to the
     serving (decode) fleet.  ``control`` attaches a resilience control
     plane (faults, retries, autoscaling); ``None`` or a null plane leaves
-    results bit-identical to the plain simulator.  Pass a fresh
-    :class:`Router` per run — policies carry state (cursors, prefix
-    homes).
+    results bit-identical to the plain simulator.  ``telemetry`` attaches
+    a :class:`~repro.obs.telemetry.TelemetryHub` sampled on control
+    ticks (auto-created when the autoscaler is a
+    :class:`~repro.control.autoscale.BurnRateAutoscaler`, which consumes
+    its burn-rate signal); ``None`` keeps the null bus and results
+    bit-identical.  Pass a fresh :class:`Router` (and hub) per run —
+    both carry state (cursors, prefix homes, ring buffers).
     """
 
     def __init__(
@@ -309,6 +338,7 @@ class ClusterSimulator:
         control: ControlPlane | None = None,
         fleet: Sequence[Deployment] | None = None,
         core: str | None = None,
+        telemetry: TelemetryHub | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -353,6 +383,18 @@ class ClusterSimulator:
         # A null plane is provably inert; treat it exactly like no plane
         # so the bit-identity guarantee holds by construction.
         self._control_on = control is not None and not control.is_null
+        # Telemetry bus: an explicit hub, or one auto-created when the
+        # control plane's autoscaler consumes burn-rate signals (the
+        # policy cannot act without the bus feeding it).  Like routers,
+        # hubs carry state — pass a fresh one per run.
+        if (
+            telemetry is None
+            and self._control_on
+            and isinstance(control.autoscaler, BurnRateAutoscaler)
+        ):
+            telemetry = TelemetryHub(slo=control.autoscaler.slo)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry_on = self.telemetry.enabled
         # Run-scoped state (initialized in run()).
         self._replicas: list[Replica] = []
         self._prefill_fleet: list[Replica] = []
@@ -379,6 +421,9 @@ class ClusterSimulator:
         self._kv_windows: tuple[tuple[float, float], ...] = ()
         self._last_scale_s = float("-inf")
         self._ctl_tracer: EventTracer | None = None
+        self._control_ticks = False
+        self._tick_every = 0.5
+        self._telemetry_view: TelemetryFleetView | None = None
 
     # ------------------------------------------------------------------
 
@@ -531,12 +576,15 @@ class ClusterSimulator:
         self._kv_windows = ()
         self._last_scale_s = float("-inf")
         self._ctl_tracer = (
-            EventTracer() if (self.traced and self._control_on) else None
+            EventTracer()
+            if (self.traced and (self._control_on or self._telemetry_on))
+            else None
         )
 
         self._build_replicas()
         for request in sorted(trace, key=lambda r: r.arrival_time):
             self._push(request.arrival_time, _ARRIVAL, request)
+        self._control_ticks = False
         if self._control_on:
             plane = self.control
             assert plane is not None
@@ -545,8 +593,23 @@ class ClusterSimulator:
                 if event.kind == "slowdown":
                     self._push(event.end_s, _FAULT_END, event)
             self._kv_windows = plane.faults.kv_loss_windows()
-            if not isinstance(plane.autoscaler, NullAutoscaler):
-                self._push(plane.tick_interval_s, _TICK, None)
+            self._control_ticks = not isinstance(plane.autoscaler, NullAutoscaler)
+        # Control ticks drive autoscaling; the telemetry bus samples on the
+        # same tick train (and arms it alone on control-free runs).
+        self._tick_every = (
+            self.control.tick_interval_s
+            if self._control_ticks
+            else self.telemetry.tick_interval_s
+        )
+        self._telemetry_view = (
+            TelemetryFleetView(
+                self.telemetry, window_s=self.telemetry.budget.fast_window_s
+            )
+            if (self._telemetry_on and self.profiled)
+            else None
+        )
+        if self._control_ticks or self._telemetry_on:
+            self._push(self._tick_every, _TICK, None)
 
         while True:
             if self._events:
@@ -584,7 +647,11 @@ class ClusterSimulator:
     def _step(self, replica: Replica, horizon: float | None) -> None:
         retired = replica.run.step(horizon=horizon)
         self._sync_replica(replica)
-        if not self._orig_by_proxy and not self._control_on:
+        if (
+            not self._orig_by_proxy
+            and not self._control_on
+            and not self._telemetry_on
+        ):
             return
         for proxy in retired:
             orig = self._orig_by_proxy.pop(proxy.request_id, None)
@@ -595,8 +662,29 @@ class ClusterSimulator:
                     self._complete_decode(orig, proxy)
             else:
                 orig = proxy  # submitted directly (no proxy)
-            if self._control_on and orig.state == RequestState.FINISHED:
-                self._completions.append(orig)
+            if orig.state == RequestState.FINISHED:
+                if self._control_on:
+                    self._completions.append(orig)
+                if self._telemetry_on:
+                    self._record_completion(orig)
+
+    def _record_completion(self, orig: GenerationRequest) -> None:
+        """Feed one finished request into the telemetry bus (buffered)."""
+        hub = self.telemetry
+        finish = orig.finish_time
+        first = orig.first_token_time
+        ttft = orig.ttft_s if first is not None else float("nan")
+        if orig.output_tokens > 1 and first is not None:
+            itl = (finish - first) / (orig.output_tokens - 1)
+        else:
+            itl = float("nan")
+        hub.record_completion(
+            finish,
+            ttft,
+            itl,
+            hub.slo_for(orig.tenant).met_by(orig),
+            tenant=orig.tenant,
+        )
 
     def _complete_prefill(
         self, orig: GenerationRequest, proxy: GenerationRequest
@@ -678,7 +766,7 @@ class ClusterSimulator:
         if pool is None:
             return  # deferred until a warming replica comes online
         if not pool:
-            self._fail(request)
+            self._fail(request, now)
             return
         self._sample_gauges(self._replicas, now)
         chosen = self.router.route(request, pool, now)
@@ -729,7 +817,7 @@ class ClusterSimulator:
         if pool is None:
             return  # deferred until a warming decode replica comes online
         if not pool:
-            self._fail(orig)
+            self._fail(orig, ts)
             return
         chosen = _least_outstanding(pool)
         chosen.served.append(orig)
@@ -766,10 +854,15 @@ class ClusterSimulator:
         orig.restart_context = 0
         orig.cached_prefix_tokens = 0
 
-    def _fail(self, orig: GenerationRequest) -> None:
+    def _fail(self, orig: GenerationRequest, ts: float) -> None:
         self._reset(orig)
         orig.state = RequestState.FAILED
         self._failed += 1
+        if self._telemetry_on:
+            # A failed request burns the error budget like a missed SLO.
+            self.telemetry.record_completion(
+                ts, float("nan"), float("nan"), False, tenant=orig.tenant
+            )
 
     def _requeue(self, orig: GenerationRequest, ts: float) -> None:
         """Re-enter a displaced request via backoff, or fail it."""
@@ -780,6 +873,10 @@ class ClusterSimulator:
         if attempt >= policy.max_retries:
             orig.state = RequestState.FAILED
             self._failed += 1
+            if self._telemetry_on:
+                self.telemetry.record_completion(
+                    ts, float("nan"), float("nan"), False, tenant=orig.tenant
+                )
             if self._ctl_tracer is not None:
                 self._ctl_tracer.instant(
                     "control", "retry_budget_exhausted", ts_s=ts, attempts=attempt
@@ -884,6 +981,12 @@ class ClusterSimulator:
             ttft_p95 = percentile(sorted(r.ttft_s for r in recent), 95.0)
         else:
             attainment = ttft_p95 = float("nan")
+        if self._telemetry_on:
+            # The telemetry tick runs first, so the burn rates the policy
+            # sees are current as of this tick.
+            burn_fast, burn_slow = self.telemetry.burn_rates()
+        else:
+            burn_fast = burn_slow = float("nan")
         return FleetView(
             now_s=ts,
             num_serving=len(serving),
@@ -892,29 +995,135 @@ class ClusterSimulator:
             outstanding_tokens=sum(r.outstanding_tokens for r in serving),
             slo_attainment=attainment,
             ttft_p95_s=ttft_p95,
+            burn_rate_fast=burn_fast,
+            burn_rate_slow=burn_slow,
         )
 
     def _autoscale_tick(self, ts: float) -> None:
-        plane = self.control
-        assert plane is not None
-        policy = plane.autoscaler
-        view = self._fleet_view(ts)
-        registry = self._registry
-        registry.gauge("fleet.serving").set(view.num_serving, ts_s=ts)
-        registry.gauge("fleet.warming").set(view.num_warming, ts_s=ts)
-        registry.gauge("fleet.queue_depth").set(view.queue_depth, ts_s=ts)
-        if not math.isnan(view.slo_attainment):
-            registry.gauge("fleet.slo_attainment").set(view.slo_attainment, ts_s=ts)
-        delta = policy.decide(view)
-        cooled = ts - self._last_scale_s >= policy.cooldown_s
-        if delta > 0 and cooled and view.num_provisioned < policy.max_replicas:
-            self._scale_up(ts)
-        elif delta < 0 and cooled and view.num_provisioned > policy.min_replicas:
-            self._scale_down(ts)
+        if self._telemetry_on:
+            self._telemetry_tick(ts)
+        if self._control_ticks:
+            plane = self.control
+            assert plane is not None
+            policy = plane.autoscaler
+            view = self._fleet_view(ts)
+            registry = self._registry
+            registry.gauge("fleet.serving").set(view.num_serving, ts_s=ts)
+            registry.gauge("fleet.warming").set(view.num_warming, ts_s=ts)
+            registry.gauge("fleet.queue_depth").set(view.queue_depth, ts_s=ts)
+            if not math.isnan(view.slo_attainment):
+                registry.gauge("fleet.slo_attainment").set(
+                    view.slo_attainment, ts_s=ts
+                )
+            delta = policy.decide(view)
+            cooled = ts - self._last_scale_s >= policy.cooldown_s
+            if delta > 0 and cooled and view.num_provisioned < policy.max_replicas:
+                self._scale_up(ts)
+            elif delta < 0 and cooled and view.num_provisioned > policy.min_replicas:
+                self._scale_down(ts)
         # Re-arm only while the run can still produce or receive work, so
         # the tick chain cannot keep a finished simulation alive.
         if self._events or any(r.alive and r.has_work for r in self._replicas):
-            self._push(ts + plane.tick_interval_s, _TICK, None)
+            self._push(ts + self._tick_every, _TICK, None)
+
+    def _telemetry_tick(self, ts: float) -> None:
+        """Sample the fleet into the telemetry bus, evaluate the budget,
+        land alert transitions in the control trace, and feed observed
+        utilization back into routing weights (profiled runs)."""
+        hub = self.telemetry
+        role = self._serving_role
+        serving = [
+            r
+            for r in self._replicas
+            if r.role == role and r.alive and not r.draining and r.start_s <= ts
+        ]
+        warming = [
+            r
+            for r in self._replicas
+            if r.role == role and r.alive and not r.draining and r.start_s > ts
+        ]
+        hub.sample("fleet.serving", ts, float(len(serving)), unit="replicas")
+        hub.sample("fleet.warming", ts, float(len(warming)), unit="replicas")
+        hub.sample(
+            "fleet.queue_depth", ts, float(sum(r.queue_depth for r in serving))
+        )
+        hub.sample(
+            "fleet.outstanding_tokens",
+            ts,
+            float(sum(r.outstanding_tokens for r in serving)),
+            unit="tokens",
+        )
+        for replica in self._replicas:
+            if not replica.alive:
+                continue
+            prefix = f"replica.{replica.name}"
+            hub.sample(f"{prefix}.queue_depth", ts, float(replica.queue_depth))
+            hub.sample(
+                f"{prefix}.outstanding_tokens",
+                ts,
+                float(replica.outstanding_tokens),
+                unit="tokens",
+            )
+            hub.sample(f"{prefix}.kv_occupancy", ts, replica.kv_used_fraction)
+            totals = replica.run.profiler.running_totals()
+            if totals is not None:
+                self._sample_profiler_totals(prefix, ts, replica, totals)
+        transitions = hub.tick(ts)
+        if self._ctl_tracer is not None:
+            for alert in transitions:
+                self._ctl_tracer.instant(
+                    "control",
+                    f"alert:{alert.name}:{alert.state}",
+                    ts_s=alert.ts_s,
+                    severity=alert.severity,
+                    value=alert.value,
+                    threshold=alert.threshold,
+                )
+        if self._telemetry_view is not None and len(serving) > 1:
+            scales = self._telemetry_view.routing_scales(
+                [r.name for r in serving], ts
+            )
+            for replica in serving:
+                replica.apply_telemetry_scale(scales[replica.name])
+
+    def _sample_profiler_totals(
+        self, prefix: str, ts: float, replica: Replica, totals: dict
+    ) -> None:
+        """Cumulative profiler counters plus the derived windowed
+        efficiency channels (MFU/MBU/watts/joules-per-token)."""
+        hub = self.telemetry
+        hub.sample(f"{prefix}.busy_s", ts, totals["busy_s"], unit="s")
+        hub.sample(f"{prefix}.flops", ts, totals["flops"], unit="flops")
+        hub.sample(f"{prefix}.bytes", ts, totals["bytes"], unit="bytes")
+        hub.sample(f"{prefix}.energy_j", ts, totals["energy_j"], unit="J")
+        hub.sample(f"{prefix}.tokens", ts, totals["tokens"], unit="tokens")
+        window = hub.budget.fast_window_s
+        # A freshly scaled replica has existed for less than a full
+        # window; normalize by its actual lifetime inside the window.
+        elapsed = min(window, ts - replica.created_s)
+        if elapsed <= 0:
+            return
+        profiler = replica.run.profiler
+        d_flops = hub.series(f"{prefix}.flops").delta(window, ts)
+        d_bytes = hub.series(f"{prefix}.bytes").delta(window, ts)
+        d_energy = hub.series(f"{prefix}.energy_j").delta(window, ts)
+        d_tokens = hub.series(f"{prefix}.tokens").delta(window, ts)
+        hub.sample(
+            f"{prefix}.mfu", ts, d_flops / (elapsed * profiler.peak_flops_per_s)
+        )
+        hub.sample(
+            f"{prefix}.mbu",
+            ts,
+            d_bytes / (elapsed * profiler.peak_bandwidth_bytes_s),
+        )
+        hub.sample(f"{prefix}.watts", ts, d_energy / elapsed, unit="W")
+        if d_tokens > 0:
+            hub.sample(
+                f"{prefix}.joules_per_token",
+                ts,
+                d_energy / d_tokens,
+                unit="J/token",
+            )
 
     def _scale_up(self, ts: float) -> None:
         plane = self.control
@@ -992,6 +1201,21 @@ class ClusterSimulator:
         registry = self._registry
         replicas = self._replicas
         makespan = max((r.now for r in replicas), default=0.0)
+        telemetry_snapshot: TelemetrySnapshot | None = None
+        if self._telemetry_on:
+            # Closeout tick at the horizon: flush completions recorded
+            # past the last control tick and settle any firing alerts.
+            for alert in self.telemetry.finish(makespan):
+                if self._ctl_tracer is not None:
+                    self._ctl_tracer.instant(
+                        "control",
+                        f"alert:{alert.name}:{alert.state}",
+                        ts_s=alert.ts_s,
+                        severity=alert.severity,
+                        value=alert.value,
+                        threshold=alert.threshold,
+                    )
+            telemetry_snapshot = self.telemetry.snapshot()
         energy_j = 0.0
         reports: list[ReplicaReport] = []
         events: dict[str, list[TraceEvent]] = {}
@@ -1081,4 +1305,5 @@ class ClusterSimulator:
             profile=(
                 merge_profiles(profiles, name="cluster") if profiles else None
             ),
+            telemetry=telemetry_snapshot,
         )

@@ -14,10 +14,12 @@ results to an uncontrolled run).
 from repro.control.autoscale import (
     AUTOSCALER_NAMES,
     AutoscalePolicy,
+    BurnRateAutoscaler,
     FleetView,
     NullAutoscaler,
     QueueDepthAutoscaler,
     SLOAutoscaler,
+    TelemetryFleetView,
     autoscaler_from_plan,
     derive_autoscaler_bounds,
     get_autoscaler,
@@ -29,6 +31,7 @@ from repro.control.plane import ControlPlane
 __all__ = [
     "AUTOSCALER_NAMES",
     "AutoscalePolicy",
+    "BurnRateAutoscaler",
     "ControlPlane",
     "FAULT_KINDS",
     "FaultEvent",
@@ -38,6 +41,7 @@ __all__ = [
     "QueueDepthAutoscaler",
     "RetryPolicy",
     "SLOAutoscaler",
+    "TelemetryFleetView",
     "autoscaler_from_plan",
     "derive_autoscaler_bounds",
     "get_autoscaler",

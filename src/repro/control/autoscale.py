@@ -31,9 +31,11 @@ from repro.runtime.loadgen import ServiceLevelObjective
 __all__ = [
     "FleetView",
     "AutoscalePolicy",
+    "BurnRateAutoscaler",
     "NullAutoscaler",
     "QueueDepthAutoscaler",
     "SLOAutoscaler",
+    "TelemetryFleetView",
     "AUTOSCALER_NAMES",
     "autoscaler_from_plan",
     "derive_autoscaler_bounds",
@@ -59,6 +61,11 @@ class FleetView:
     outstanding_tokens: int
     slo_attainment: float  # NaN with no completions in the window
     ttft_p95_s: float  # NaN with no completions in the window
+    # Error-budget burn rates from the telemetry hub's SloBudget; NaN
+    # when telemetry is off or the window saw no traffic (same "no
+    # signal" convention as the attainment fields above).
+    burn_rate_fast: float = float("nan")
+    burn_rate_slow: float = float("nan")
 
     @property
     def num_provisioned(self) -> int:
@@ -173,9 +180,132 @@ class SLOAutoscaler(AutoscalePolicy):
         return 0
 
 
+class BurnRateAutoscaler(AutoscalePolicy):
+    """Scale on error-budget burn rate instead of instantaneous load.
+
+    The telemetry hub's :class:`~repro.obs.telemetry.SloBudget` computes
+    multi-window burn rates (budget consumed per unit of sustainable
+    pace); this policy scales up while *both* windows burn hot — the
+    fast window says the pain is happening now, the slow window says it
+    is not a blip — and scales down only once the fast window has cooled
+    well under sustainable burn with nothing queued.  Attaching this
+    policy makes the cluster simulator arm a telemetry hub automatically
+    (the burn signal has to come from somewhere).
+    """
+
+    name = "burn-rate"
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective | None = None,
+        scale_up_burn: float = 2.0,
+        scale_down_burn: float = 0.25,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0 < scale_down_burn < scale_up_burn:
+            raise ValueError(
+                "need 0 < scale_down_burn < scale_up_burn, got "
+                f"[{scale_down_burn}, {scale_up_burn}]"
+            )
+        self.slo = slo or ServiceLevelObjective()
+        self.scale_up_burn = scale_up_burn
+        self.scale_down_burn = scale_down_burn
+
+    def decide(self, view: FleetView) -> int:
+        fast = view.burn_rate_fast
+        slow = view.burn_rate_slow
+        if math.isnan(fast):
+            return 0  # no completions in the window: no signal either way
+        if fast > self.scale_up_burn and (
+            math.isnan(slow) or slow > 1.0
+        ):
+            return 1
+        if (
+            fast < self.scale_down_burn
+            and (math.isnan(slow) or slow < 1.0)
+            and view.queue_depth == 0
+        ):
+            return -1
+        return 0
+
+
+class TelemetryFleetView:
+    """Windowed per-replica utilization read from a telemetry hub.
+
+    Closes the profiler half of the control loop: the hub samples each
+    replica's cumulative busy seconds and modeled FLOPs/bytes on every
+    control tick; this view turns the trailing-window deltas into
+    busy-normalized throughput per replica and hands the router a
+    capacity re-weighting — a straggler (fault-injected ``cost_scale``)
+    commits fewer FLOPs per busy second, so its routing weight drops and
+    the least-loaded router steers traffic away *before* its queue
+    visibly backs up.  Idle replicas are unaffected (busy-normalized, so
+    idling does not read as slowness).  Replicas without enough signal
+    keep scale 1.0, and ratios are clipped to ``[floor, ceiling]`` so a
+    noisy window cannot blackhole a healthy replica.
+    """
+
+    def __init__(
+        self,
+        hub,  # noqa: ANN001 - TelemetryHub (duck-typed: obs may not be loaded)
+        window_s: float = 5.0,
+        floor: float = 0.5,
+        ceiling: float = 2.0,
+        min_busy_s: float = 1e-6,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0 < floor <= 1.0 <= ceiling:
+            raise ValueError("need 0 < floor <= 1 <= ceiling")
+        self.hub = hub
+        self.window_s = window_s
+        self.floor = floor
+        self.ceiling = ceiling
+        self.min_busy_s = min_busy_s
+
+    def effective_rate(self, replica_name: str, now_s: float) -> float:
+        """FLOPs per busy second over the trailing window (NaN = no signal)."""
+        busy = self.hub.series(f"replica.{replica_name}.busy_s").delta(
+            self.window_s, now_s
+        )
+        if math.isnan(busy) or busy < self.min_busy_s:
+            return float("nan")
+        flops = self.hub.series(f"replica.{replica_name}.flops").delta(
+            self.window_s, now_s
+        )
+        if math.isnan(flops):
+            return float("nan")
+        return flops / busy
+
+    def routing_scales(
+        self, replica_names: list[str], now_s: float
+    ) -> dict[str, float]:
+        """Per-replica routing-weight multipliers (1.0 = no adjustment)."""
+        rates = {
+            name: self.effective_rate(name, now_s) for name in replica_names
+        }
+        observed = [r for r in rates.values() if not math.isnan(r)]
+        if len(observed) < 2:
+            return {name: 1.0 for name in replica_names}
+        mean = sum(observed) / len(observed)
+        if mean <= 0:
+            return {name: 1.0 for name in replica_names}
+        scales = {}
+        for name in replica_names:
+            rate = rates[name]
+            if math.isnan(rate):
+                scales[name] = 1.0
+            else:
+                scales[name] = min(max(rate / mean, self.floor), self.ceiling)
+        return scales
+
+
 AUTOSCALER_NAMES: dict[str, type[AutoscalePolicy]] = {
     cls.name: cls
-    for cls in (NullAutoscaler, QueueDepthAutoscaler, SLOAutoscaler)
+    for cls in (
+        NullAutoscaler, QueueDepthAutoscaler, SLOAutoscaler, BurnRateAutoscaler
+    )
 }
 
 
@@ -190,7 +320,7 @@ def get_autoscaler(
     except KeyError:
         known = ", ".join(sorted(AUTOSCALER_NAMES))
         raise KeyError(f"unknown autoscaler {name!r} (known: {known})") from None
-    if cls is SLOAutoscaler:
+    if cls is SLOAutoscaler or cls is BurnRateAutoscaler:
         return cls(slo=slo, **kwargs)
     return cls(**kwargs)
 

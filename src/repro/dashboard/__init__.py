@@ -9,6 +9,7 @@ from repro.dashboard.html import (
     profile_section_html,
     replication_section_html,
     scenarios_section_html,
+    telemetry_section_html,
     write_dashboard,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "profile_section_html",
     "replication_section_html",
     "scenarios_section_html",
+    "telemetry_section_html",
     "write_dashboard",
 ]

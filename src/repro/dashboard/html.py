@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.compare import ComparisonReport
     from repro.experiments.runner import ReplicationReport
     from repro.obs.profiler import ProfileReport
+    from repro.obs.telemetry import TelemetrySnapshot
     from repro.runtime.loadgen import LoadReport
     from repro.scenarios import Scenario
 
@@ -34,6 +35,7 @@ __all__ = [
     "replication_section_html",
     "comparison_section_html",
     "scenarios_section_html",
+    "telemetry_section_html",
 ]
 
 _PAGE = """<!DOCTYPE html>
@@ -503,6 +505,79 @@ def scenarios_section_html(
     return "\n".join(parts)
 
 
+def telemetry_section_html(
+    snapshot: "TelemetrySnapshot", title: str = "Streaming telemetry"
+) -> str:
+    """Static HTML fragment for one :class:`TelemetrySnapshot`.
+
+    Budget configuration note, then one row per time series (sample
+    count, last/min/max with a last-value bar scaled within the series
+    range), then the typed alert log in firing order.  Series whose
+    samples are all null (NaN-only channels, e.g. ITL under single-token
+    outputs) render as dashes.  Embeddable via ``dashboard_html``'s
+    ``telemetry`` argument.
+    """
+    import math as _math
+
+    fmt = lambda v: f"{v:.4g}" if v is not None and _math.isfinite(v) else "&mdash;"  # noqa: E731
+    cfg = snapshot.config
+    parts = [f"<h2>{html.escape(title)}</h2>"]
+    parts.append(
+        "<p class='note'>SLO budget: attainment target "
+        f"{fmt(cfg.get('attainment_target'))}, burn windows "
+        f"{fmt(cfg.get('fast_window_s'))}&nbsp;s / "
+        f"{fmt(cfg.get('slow_window_s'))}&nbsp;s, page at "
+        f"{fmt(cfg.get('page_threshold'))}&times;, ticket at "
+        f"{fmt(cfg.get('ticket_threshold'))}&times;, tick every "
+        f"{fmt(cfg.get('tick_interval_s'))}&nbsp;s</p>"
+    )
+    if snapshot.series:
+        parts.append(
+            "<table class='data'><tr><th>series</th><th>unit</th>"
+            "<th>samples</th><th>last</th><th>min</th><th>max</th>"
+            "<th></th></tr>"
+        )
+        for name in sorted(snapshot.series):
+            body = snapshot.series[name]
+            values = [v for v in body["values"] if v is not None]
+            last = values[-1] if values else None
+            lo = min(values) if values else None
+            hi = max(values) if values else None
+            width = 0
+            if last is not None and hi is not None and hi > 0:
+                width = round(200 * max(0.0, last) / hi)
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{html.escape(body.get('unit', ''))}</td>"
+                f"<td>{len(body['values'])}</td>"
+                f"<td>{fmt(last)}</td><td>{fmt(lo)}</td><td>{fmt(hi)}</td>"
+                f"<td><span class='bar' style='width:{width}px'></span>"
+                "</td></tr>"
+            )
+        parts.append("</table>")
+    if snapshot.alerts:
+        parts.append("<h3>Alerts</h3>")
+        parts.append(
+            "<table class='data'><tr><th>t (s)</th><th>alert</th>"
+            "<th>severity</th><th>state</th><th>burn</th>"
+            "<th>threshold</th><th>window (s)</th></tr>"
+        )
+        for alert in snapshot.alerts:
+            parts.append(
+                f"<tr><td>{fmt(alert.ts_s)}</td>"
+                f"<td>{html.escape(alert.name)}</td>"
+                f"<td>{html.escape(alert.severity)}</td>"
+                f"<td>{html.escape(alert.state)}</td>"
+                f"<td>{fmt(alert.value)}</td>"
+                f"<td>{fmt(alert.threshold)}</td>"
+                f"<td>{fmt(alert.window_s)}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='note'>No alerts fired.</p>")
+    return "\n".join(parts)
+
+
 def optimize_section_html(report: "OptimizationReport") -> str:
     """Static HTML fragment for an optimizer run's Pareto frontiers.
 
@@ -593,6 +668,7 @@ def dashboard_html(
     comparison: "ComparisonReport | None" = None,
     scenarios: "list[Scenario] | None" = None,
     optimization: "OptimizationReport | None" = None,
+    telemetry: "TelemetrySnapshot | None" = None,
 ) -> str:
     """Render results into a single self-contained HTML page.
 
@@ -606,7 +682,9 @@ def dashboard_html(
     :mod:`repro.experiments`; ``scenarios`` (optional) appends the
     traffic-scenario catalog from :mod:`repro.scenarios`;
     ``optimization`` (optional) appends the Pareto-frontier section from
-    :mod:`repro.analysis.optimize`.
+    :mod:`repro.analysis.optimize`; ``telemetry`` (optional) appends the
+    streaming-telemetry section (series summary, burn-rate alert log)
+    from :mod:`repro.obs.telemetry`.
     """
     if not results:
         raise ValueError("no results to render")
@@ -651,6 +729,10 @@ def dashboard_html(
         metrics_html += (
             "\n" if metrics_html else ""
         ) + optimize_section_html(optimization)
+    if telemetry is not None:
+        metrics_html += (
+            "\n" if metrics_html else ""
+        ) + telemetry_section_html(telemetry)
     return _PAGE.format(data_json=json.dumps(data), metrics_html=metrics_html)
 
 
@@ -664,6 +746,7 @@ def write_dashboard(
     comparison: "ComparisonReport | None" = None,
     scenarios: "list[Scenario] | None" = None,
     optimization: "OptimizationReport | None" = None,
+    telemetry: "TelemetrySnapshot | None" = None,
 ) -> Path:
     """Write the dashboard file and return its path."""
     out = Path(path)
@@ -677,6 +760,7 @@ def write_dashboard(
             comparison=comparison,
             scenarios=scenarios,
             optimization=optimization,
+            telemetry=telemetry,
         ),
         encoding="utf-8",
     )

@@ -34,6 +34,7 @@ from repro.experiments.stats import (
 )
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.profiler import ProfileReport
+from repro.obs.telemetry import TelemetryHub, TelemetrySnapshot
 from repro.obs.tracer import EventTracer
 from repro.runtime.engine import ServingEngine
 from repro.runtime.loadgen import ServiceLevelObjective, summarize_requests
@@ -54,21 +55,31 @@ class SeedResult:
     metrics: dict[str, float]
     snapshot: MetricsSnapshot | None = None
     profile: ProfileReport | None = None
+    telemetry: TelemetrySnapshot | None = None
 
     def to_json_dict(self) -> dict[str, object]:
-        """Deterministic JSON view (sorted metric keys, NaN -> null)."""
-        return {
+        """Deterministic JSON view (sorted metric keys, NaN -> null).
+
+        The ``telemetry`` key appears only on telemetry-attached seeds,
+        so bundles from telemetry-off specs stay byte-identical to ones
+        written before the field existed.
+        """
+        payload: dict[str, object] = {
             "seed": self.seed,
             "metrics": {k: _json_num(v) for k, v in sorted(self.metrics.items())},
             "snapshot": None if self.snapshot is None else self.snapshot.to_json_dict(),
             "profile": None if self.profile is None else self.profile.to_json_dict(),
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_json_dict()
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: dict[str, object]) -> "SeedResult":
         """Inverse of :meth:`to_json_dict` (``null`` -> NaN)."""
         snapshot = payload.get("snapshot")
         profile = payload.get("profile")
+        telemetry = payload.get("telemetry")
         return cls(
             seed=int(payload["seed"]),  # type: ignore[arg-type]
             metrics={
@@ -85,6 +96,11 @@ class SeedResult:
                 None
                 if profile is None
                 else ProfileReport.from_json_dict(profile)  # type: ignore[arg-type]
+            ),
+            telemetry=(
+                None
+                if telemetry is None
+                else TelemetrySnapshot.from_json_dict(telemetry)  # type: ignore[arg-type]
             ),
         )
 
@@ -163,6 +179,17 @@ def run_seed(spec: ExperimentSpec, seed: int) -> SeedResult:
     )
     trace = spec.workload.build(seed)
 
+    def make_hub() -> TelemetryHub | None:
+        if not spec.telemetry:
+            return None
+        return TelemetryHub(
+            slo=ServiceLevelObjective(
+                ttft_s=spec.slo_ttft_s, itl_s=spec.slo_itl_s
+            ),
+            tenant_slos=spec.workload.tenant_slos() or None,
+        )
+
+    hub = make_hub()
     if spec.mode == "engine":
         tracer = EventTracer()  # recording tracer => metrics snapshot attached
         engine = ServingEngine(
@@ -171,14 +198,16 @@ def run_seed(spec: ExperimentSpec, seed: int) -> SeedResult:
             optimistic=spec.optimistic,
             profile=spec.profiled,
             tracer=tracer,
+            **({"telemetry": hub} if hub is not None else {}),
         )
         try:
             result = engine.run(trace)
             makespan, power = result.total_time_s, result.average_power_w
             snapshot, profile = result.metrics, result.profile
+            telemetry = result.telemetry
         except OutOfMemoryError:
             makespan, power = 0.0, 0.0
-            snapshot, profile = None, None
+            snapshot, profile, telemetry = None, None, None
         requests = trace
     else:
         simulator = ClusterSimulator(
@@ -188,19 +217,27 @@ def run_seed(spec: ExperimentSpec, seed: int) -> SeedResult:
             max_concurrency=spec.max_concurrency,
             optimistic=spec.optimistic,
             profiled=spec.profiled,
+            telemetry=hub,
         )
         try:
             result = simulator.run(trace)
             makespan, power = result.makespan_s, result.average_power_w
             snapshot, profile = result.metrics, result.profile
+            telemetry = result.telemetry
             requests = result.requests
         except OutOfMemoryError:
             makespan, power = 0.0, 0.0
-            snapshot, profile = None, None
+            snapshot, profile, telemetry = None, None, None
             requests = trace
 
     metrics = _extract_metrics(requests, makespan, spec, power, profile)
-    return SeedResult(seed=seed, metrics=metrics, snapshot=snapshot, profile=profile)
+    return SeedResult(
+        seed=seed,
+        metrics=metrics,
+        snapshot=snapshot,
+        profile=profile,
+        telemetry=telemetry,
+    )
 
 
 @dataclass(frozen=True)

@@ -162,6 +162,7 @@ class ExperimentSpec:
     max_concurrency: int = 32
     optimistic: bool = False
     profiled: bool = False  # attach a cost profile per seed (MFU/MBU/J-per-token)
+    telemetry: bool = False  # attach a streaming telemetry snapshot per seed
     num_replicas: int = 2  # cluster mode only
     router: str = "least-outstanding"  # cluster mode only
     slo_ttft_s: float = 1.5

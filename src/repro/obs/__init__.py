@@ -36,6 +36,15 @@ from repro.obs.profiler import (
     StepProfiler,
     merge_profiles,
 )
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Alert,
+    QuantileSketch,
+    SloBudget,
+    TelemetryHub,
+    TelemetrySnapshot,
+    TimeSeries,
+)
 from repro.obs.timeline import RequestTimeline, build_timelines, timeline_table
 from repro.obs.tracer import (
     CATEGORIES,
@@ -66,6 +75,13 @@ __all__ = [
     "RequestProfile",
     "StepProfiler",
     "merge_profiles",
+    "NULL_TELEMETRY",
+    "Alert",
+    "QuantileSketch",
+    "SloBudget",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "TimeSeries",
     "RequestTimeline",
     "build_timelines",
     "timeline_table",

@@ -79,6 +79,15 @@ class Gauge:
         self.samples: list[tuple[float, float]] = []  # (ts_s, value)
 
     def set(self, value: float, ts_s: float = 0.0) -> None:
+        # Samples must arrive in time order: the time-weighted mean and
+        # hold-last semantics silently corrupt on a rewound clock, so an
+        # out-of-order set fails loudly (equal timestamps are fine — the
+        # engine samples several gauges at the same instant).
+        if self.samples and ts_s < self.samples[-1][0]:
+            raise ValueError(
+                f"out-of-order sample on gauge {self.name!r}: "
+                f"ts {ts_s} < last ts {self.samples[-1][0]}"
+            )
         self.samples.append((ts_s, value))
 
     @property

@@ -473,6 +473,10 @@ class NullProfiler:
         """The null profiler has nothing to report."""
         return None
 
+    def running_totals(self) -> dict[str, float] | None:
+        """The null profiler has no mid-run state."""
+        return None
+
 
 #: Shared disabled profiler — stateless, one instance serves every engine.
 NULL_PROFILER = NullProfiler()
@@ -625,6 +629,33 @@ class StepProfiler(NullProfiler):
                 )
 
     # ------------------------------------------------------------------
+
+    def running_totals(self) -> dict[str, float]:
+        """Mid-run cumulative counters (the telemetry hub's tap).
+
+        Cheap (two phase accumulators) and monotone, so sampling them on
+        control ticks yields well-behaved cumulative series: windowed
+        deltas give busy-normalized MFU/MBU, watts and joules/token over
+        any trailing window without touching the committed physics.
+        """
+        busy_s = 0.0
+        flops = 0.0
+        bytes_moved = 0.0
+        energy_j = self.idle_energy_j
+        tokens = 0
+        for acc in self._phases.values():
+            busy_s += acc.time_s
+            flops += acc.flops
+            bytes_moved += acc.bytes_moved
+            energy_j += acc.energy_j
+            tokens += acc.tokens
+        return {
+            "busy_s": busy_s,
+            "flops": flops,
+            "bytes": bytes_moved,
+            "energy_j": energy_j,
+            "tokens": float(tokens),
+        }
 
     def report(
         self,

@@ -1,0 +1,710 @@
+"""Streaming telemetry bus with SLO burn-rate alerting.
+
+The paper reports TTFT/ITL/throughput/power as end-of-run aggregates;
+a production fleet is operated on *streaming* signals — windowed rates,
+error budgets, burn-rate alerts.  This module gives the simulator that
+live telemetry plane:
+
+* :class:`TimeSeries` — numpy-backed ring buffers with windowed
+  aggregations (sliding-window rate/delta, EWMA, time-weighted mean);
+* :class:`QuantileSketch` — a deterministic fixed-bucket sketch for
+  windowed p95 TTFT/ITL (no data-dependent rebalancing, so same-seed
+  runs produce byte-identical series);
+* :class:`SloBudget` — SRE-style multi-window burn rates over a
+  configurable error budget, emitting typed :class:`Alert` records
+  (fire/resolve, severity, window, value);
+* :class:`TelemetryHub` — the bus itself: per-replica, fleet-wide and
+  per-tenant channels sampled on cluster control ticks (or engine
+  steps for standalone runs).
+
+The null path is zero-overhead: every producer guards on
+``hub.enabled``, and :data:`NULL_TELEMETRY` is a stateless shared
+no-op, so telemetry-off runs stay bit-identical to a build without
+this module.
+
+Determinism contract: completions can be *recorded* slightly out of
+order (replicas retire past the control tick they straddle), so the hub
+buffers them and flushes into the ring buffers sorted by
+``(timestamp, arrival order)`` at each tick — only events at or before
+the tick are flushed, which keeps every series monotone in time and
+makes the exported JSON a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.obs.metrics import _from_json_num, _json_num
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.loadgen import ServiceLevelObjective
+
+__all__ = [
+    "Alert",
+    "NULL_TELEMETRY",
+    "QuantileSketch",
+    "SloBudget",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "TimeSeries",
+]
+
+
+class TimeSeries:
+    """Fixed-capacity ring buffer of ``(ts_s, value)`` samples.
+
+    Timestamps must be non-decreasing (``append`` fails loudly
+    otherwise); when the buffer is full the oldest samples are dropped,
+    which is safe for the windowed aggregations because windows are
+    always much shorter than the buffer at control-tick sampling rates.
+    """
+
+    __slots__ = ("name", "unit", "capacity", "_ts", "_values", "_size", "_head")
+
+    def __init__(self, name: str, unit: str = "", capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.unit = unit
+        self.capacity = capacity
+        self._ts = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+        self._head = 0  # next write slot
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, ts_s: float, value: float) -> None:
+        ts_s = float(ts_s)
+        if self._size:
+            last = float(self._ts[(self._head - 1) % self.capacity])
+            if ts_s < last:
+                raise ValueError(
+                    f"out-of-order sample on series {self.name!r}: "
+                    f"ts {ts_s} < last ts {last}"
+                )
+        self._ts[self._head] = ts_s
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def timestamps(self) -> np.ndarray:
+        """Samples' timestamps, oldest first (contiguous copy)."""
+        if self._size < self.capacity:
+            return self._ts[: self._size].copy()
+        return np.concatenate((self._ts[self._head :], self._ts[: self._head]))
+
+    def values(self) -> np.ndarray:
+        """Samples' values, oldest first (contiguous copy)."""
+        if self._size < self.capacity:
+            return self._values[: self._size].copy()
+        return np.concatenate(
+            (self._values[self._head :], self._values[: self._head])
+        )
+
+    @property
+    def last(self) -> float:
+        if not self._size:
+            return float("nan")
+        return float(self._values[(self._head - 1) % self.capacity])
+
+    @property
+    def last_ts(self) -> float:
+        if not self._size:
+            return float("nan")
+        return float(self._ts[(self._head - 1) % self.capacity])
+
+    def value_at(self, ts_s: float, default: float = float("nan")) -> float:
+        """Value of the last sample at or before ``ts_s`` (hold-last)."""
+        if not self._size:
+            return default
+        ts = self.timestamps()
+        idx = int(np.searchsorted(ts, ts_s, side="right")) - 1
+        if idx < 0:
+            return default
+        return float(self.values()[idx])
+
+    def window(self, window_s: float, now_s: float) -> np.ndarray:
+        """Values of samples with ``now_s - window_s < ts <= now_s``."""
+        if not self._size:
+            return np.empty(0, dtype=np.float64)
+        ts = self.timestamps()
+        lo = int(np.searchsorted(ts, now_s - window_s, side="right"))
+        hi = int(np.searchsorted(ts, now_s, side="right"))
+        return self.values()[lo:hi]
+
+    def delta(self, window_s: float, now_s: float) -> float:
+        """Change of a cumulative counter over the trailing window.
+
+        A counter is implicitly zero before its first sample, so a
+        window opening before the series started measures growth since
+        the start — the standard convention for monotone counters.
+        """
+        if not self._size:
+            return float("nan")
+        end = self.value_at(now_s, default=0.0)
+        start = self.value_at(now_s - window_s, default=0.0)
+        return end - start
+
+    def rate(self, window_s: float, now_s: float) -> float:
+        """Sliding-window rate of a cumulative counter (per second)."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        d = self.delta(window_s, now_s)
+        if math.isnan(d):
+            return float("nan")
+        return d / window_s
+
+    def ewma(self, tau_s: float) -> float:
+        """Exponentially weighted moving average with time constant
+        ``tau_s`` (irregular sampling: ``alpha = 1 - exp(-dt/tau)``)."""
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        if not self._size:
+            return float("nan")
+        ts = self.timestamps()
+        values = self.values()
+        acc = float(values[0])
+        for i in range(1, len(values)):
+            dt = float(ts[i] - ts[i - 1])
+            alpha = 1.0 - math.exp(-dt / tau_s)
+            acc += alpha * (float(values[i]) - acc)
+        return acc
+
+    def time_weighted_mean(self, now_s: float | None = None) -> float:
+        """Hold-last time-weighted mean from the first sample to
+        ``now_s`` (default: the last sample's timestamp).  A series with
+        a single sample reports that value."""
+        if not self._size:
+            return float("nan")
+        ts = self.timestamps()
+        values = self.values()
+        if now_s is None:
+            now_s = float(ts[-1])
+        span = now_s - float(ts[0])
+        if self._size == 1 or span <= 0:
+            return float(np.mean(values))
+        bounds = np.append(ts, now_s)
+        weights = np.diff(bounds)
+        return float(np.dot(values, weights) / span)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "ts_s": [_json_num(float(t)) for t in self.timestamps()],
+            "values": [_json_num(float(v)) for v in self.values()],
+        }
+
+    @classmethod
+    def from_json_dict(cls, name: str, payload: dict) -> "TimeSeries":
+        ts = [_from_json_num(t) for t in payload["ts_s"]]
+        series = cls(name, unit=payload["unit"], capacity=max(len(ts), 1))
+        for t, v in zip(ts, (_from_json_num(v) for v in payload["values"])):
+            series.append(t, v)
+        return series
+
+
+class QuantileSketch:
+    """Deterministic fixed-bucket quantile sketch.
+
+    Log-spaced bucket edges (default 1e-4 .. 1e4, suited to latencies
+    in seconds); quantiles interpolate linearly within a bucket and are
+    clamped to the observed min/max.  Accuracy is bounded by bucket
+    width; determinism is exact — no data-dependent restructuring, so
+    same-seed runs produce identical sketches.
+    """
+
+    __slots__ = ("_edges", "_counts", "_count", "_min", "_max")
+
+    def __init__(self, lo: float = 1e-4, hi: float = 1e4, buckets: int = 128):
+        if not (0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self._edges = np.geomspace(lo, hi, buckets + 1)
+        # underflow + buckets + overflow
+        self._counts = np.zeros(buckets + 2, dtype=np.int64)
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot add NaN to a quantile sketch")
+        if value < self._edges[0]:
+            idx = 0
+        elif value >= self._edges[-1]:
+            idx = len(self._counts) - 1
+        else:
+            idx = int(np.searchsorted(self._edges, value, side="right"))
+        self._counts[idx] += 1
+        self._count += 1
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._count:
+            return float("nan")
+        rank = q * (self._count - 1)
+        cum = 0
+        for idx, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            if rank < cum + bucket_count:
+                if idx == 0:
+                    return self._min
+                if idx == len(self._counts) - 1:
+                    return self._max
+                lo = float(self._edges[idx - 1])
+                hi = float(self._edges[idx])
+                frac = (rank - cum + 1.0) / (bucket_count + 1.0)
+                value = lo + frac * (hi - lo)
+                return min(max(value, self._min), self._max)
+            cum += bucket_count
+        return self._max  # pragma: no cover - loop always returns
+
+
+def windowed_quantile(
+    series: TimeSeries, q: float, window_s: float, now_s: float
+) -> float:
+    """Windowed quantile of a sample series via a fresh fixed-bucket
+    sketch (deterministic; NaN when the window is empty)."""
+    sketch = QuantileSketch()
+    for value in series.window(window_s, now_s):
+        sketch.add(float(value))
+    return sketch.quantile(q)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One burn-rate alert transition (typed, JSON-serializable).
+
+    ``state`` is ``"firing"`` or ``"resolved"``; ``value`` is the
+    observed fast-window burn rate at the transition; ``window_s`` the
+    fast window it was measured over.
+    """
+
+    name: str
+    severity: str  # "page" | "ticket"
+    state: str  # "firing" | "resolved"
+    ts_s: float
+    window_s: float
+    value: float
+    threshold: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "state": self.state,
+            "ts_s": _json_num(self.ts_s),
+            "window_s": _json_num(self.window_s),
+            "value": _json_num(self.value),
+            "threshold": _json_num(self.threshold),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "Alert":
+        return cls(
+            name=payload["name"],
+            severity=payload["severity"],
+            state=payload["state"],
+            ts_s=_from_json_num(payload["ts_s"]),
+            window_s=_from_json_num(payload["window_s"]),
+            value=_from_json_num(payload["value"]),
+            threshold=_from_json_num(payload["threshold"]),
+        )
+
+
+class SloBudget:
+    """SRE-style error-budget tracker with multi-window burn rates.
+
+    The error budget is ``1 - attainment_target`` (e.g. 5% of requests
+    may miss the SLO).  The burn rate over a window is the fraction of
+    requests that missed, divided by the budget — burn 1.0 consumes the
+    budget exactly at the sustainable pace, burn 10 exhausts it 10x too
+    fast.  Two alert rules evaluate *both* windows (the classic
+    multi-window guard against flicker): ``page`` at a high threshold,
+    ``ticket`` at a low one.  An alert fires when both windows exceed
+    its threshold and resolves when the fast window drops back under;
+    NaN burn (no traffic in the window) never transitions state.
+
+    Windows default to 5 s / 30 s of simulated time — the scaled-down
+    analogue of the 5 m / 1 h pair used for wall-clock fleets.
+    """
+
+    def __init__(
+        self,
+        attainment_target: float = 0.95,
+        fast_window_s: float = 5.0,
+        slow_window_s: float = 30.0,
+        page_threshold: float = 8.0,
+        ticket_threshold: float = 2.0,
+    ):
+        if not 0.0 < attainment_target < 1.0:
+            raise ValueError("attainment_target must be in (0, 1)")
+        if not 0.0 < fast_window_s < slow_window_s:
+            raise ValueError("need 0 < fast_window_s < slow_window_s")
+        if not 0.0 < ticket_threshold <= page_threshold:
+            raise ValueError("need 0 < ticket_threshold <= page_threshold")
+        self.attainment_target = attainment_target
+        self.error_budget = 1.0 - attainment_target
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = slow_window_s
+        self.rules = (
+            ("slo-burn-page", "page", page_threshold),
+            ("slo-burn-ticket", "ticket", ticket_threshold),
+        )
+        self._firing: dict[str, bool] = {name: False for name, _, _ in self.rules}
+
+    def burn_rate(
+        self, good: TimeSeries, total: TimeSeries, window_s: float, now_s: float
+    ) -> float:
+        """Burn rate over the trailing window (NaN without traffic)."""
+        completed = total.delta(window_s, now_s)
+        if math.isnan(completed) or completed <= 0:
+            return float("nan")
+        met = good.delta(window_s, now_s)
+        if math.isnan(met):
+            met = 0.0
+        attainment = met / completed
+        return (1.0 - attainment) / self.error_budget
+
+    def evaluate(
+        self, now_s: float, good: TimeSeries, total: TimeSeries
+    ) -> tuple[float, float, list[Alert]]:
+        """Evaluate both windows; return ``(fast, slow, transitions)``."""
+        fast = self.burn_rate(good, total, self.fast_window_s, now_s)
+        slow = self.burn_rate(good, total, self.slow_window_s, now_s)
+        transitions: list[Alert] = []
+        if math.isnan(fast):
+            return fast, slow, transitions
+        for name, severity, threshold in self.rules:
+            firing = self._firing[name]
+            if (
+                not firing
+                and not math.isnan(slow)
+                and fast > threshold
+                and slow > threshold
+            ):
+                self._firing[name] = True
+                transitions.append(
+                    Alert(name, severity, "firing", now_s,
+                          self.fast_window_s, fast, threshold)
+                )
+            elif firing and fast <= threshold:
+                self._firing[name] = False
+                transitions.append(
+                    Alert(name, severity, "resolved", now_s,
+                          self.fast_window_s, fast, threshold)
+                )
+        return fast, slow, transitions
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable export of a hub: config, named series, alert log.
+
+    ``to_json_dict``/``from_json_dict`` round-trip byte-identically
+    through the repo's canonical JSON convention (sorted keys, NaN as
+    null), which is what the experiment-bundle replay gate relies on.
+    """
+
+    config: dict
+    series: dict[str, dict]
+    alerts: tuple[Alert, ...]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "config": dict(self.config),
+            "series": {name: dict(body) for name, body in sorted(self.series.items())},
+            "alerts": [alert.to_json_dict() for alert in self.alerts],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "TelemetrySnapshot":
+        return cls(
+            config=dict(payload["config"]),
+            series={name: dict(body) for name, body in payload["series"].items()},
+            alerts=tuple(
+                Alert.from_json_dict(a) for a in payload["alerts"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class _PendingCompletion:
+    ts_s: float
+    seq: int
+    ttft_s: float
+    itl_s: float
+    good: bool
+    tenant: str | None
+
+
+class TelemetryHub:
+    """The streaming telemetry bus.
+
+    Producers (engine steps, cluster control ticks) push gauge samples
+    and request completions; the hub maintains :class:`TimeSeries`
+    channels, evaluates the :class:`SloBudget` on each ``tick`` and
+    accumulates the typed alert log.  Everything is a pure function of
+    the producers' (seeded) event stream, so same-seed runs export
+    byte-identical snapshots.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        slo: "ServiceLevelObjective | None" = None,
+        tenant_slos: "dict[str, ServiceLevelObjective] | None" = None,
+        budget: SloBudget | None = None,
+        tick_interval_s: float = 0.5,
+        capacity: int = 4096,
+    ):
+        if tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if slo is None:
+            from repro.runtime.loadgen import ServiceLevelObjective
+
+            slo = ServiceLevelObjective()
+        self.slo = slo
+        self.tenant_slos = dict(tenant_slos or {})
+        self.budget = budget if budget is not None else SloBudget(
+            attainment_target=slo.attainment_target
+        )
+        self.tick_interval_s = tick_interval_s
+        self.capacity = capacity
+        self._series: dict[str, TimeSeries] = {}
+        self._pending: list[_PendingCompletion] = []
+        self._seq = 0
+        self._good = 0
+        self._total = 0
+        self._tenant_counts: dict[str, list[int]] = {}  # tenant -> [good, total]
+        self.alerts: list[Alert] = []
+        self.last_burn_fast = float("nan")
+        self.last_burn_slow = float("nan")
+        self.last_tick_s = float("-inf")
+
+    # ------------------------------------------------------------------
+    # producers
+
+    def series(self, name: str, unit: str = "") -> TimeSeries:
+        """Create-on-first-use named channel."""
+        found = self._series.get(name)
+        if found is None:
+            found = self._series[name] = TimeSeries(
+                name, unit=unit, capacity=self.capacity
+            )
+        elif unit and found.unit and unit != found.unit:
+            raise ValueError(
+                f"series {name!r} re-registered with unit {unit!r} "
+                f"(was {found.unit!r})"
+            )
+        return found
+
+    def sample(self, name: str, ts_s: float, value: float, unit: str = "") -> None:
+        self.series(name, unit=unit).append(ts_s, value)
+
+    def slo_for(self, tenant: str | None) -> "ServiceLevelObjective":
+        if tenant is not None:
+            return self.tenant_slos.get(tenant, self.slo)
+        return self.slo
+
+    def record_completion(
+        self,
+        ts_s: float,
+        ttft_s: float,
+        itl_s: float,
+        good: bool,
+        tenant: str | None = None,
+    ) -> None:
+        """Record one finished request (buffered until the next tick).
+
+        Completions may arrive slightly out of order (replicas retire
+        past the tick they straddle); the buffer is flushed sorted by
+        ``(ts, arrival order)`` so the ring buffers stay monotone.
+        """
+        self._pending.append(
+            _PendingCompletion(float(ts_s), self._seq, ttft_s, itl_s, bool(good), tenant)
+        )
+        self._seq += 1
+
+    def _flush(self, up_to_s: float) -> None:
+        if not self._pending:
+            return
+        due = [p for p in self._pending if p.ts_s <= up_to_s]
+        if not due:
+            return
+        self._pending = [p for p in self._pending if p.ts_s > up_to_s]
+        due.sort(key=lambda p: (p.ts_s, p.seq))
+        good_series = self.series("slo.good_total", unit="requests")
+        total_series = self.series("slo.requests_total", unit="requests")
+        ttft_series = self.series("slo.ttft_s", unit="s")
+        itl_series = self.series("slo.itl_s", unit="s")
+        for p in due:
+            self._total += 1
+            if p.good:
+                self._good += 1
+            total_series.append(p.ts_s, float(self._total))
+            good_series.append(p.ts_s, float(self._good))
+            if not math.isnan(p.ttft_s):
+                ttft_series.append(p.ts_s, p.ttft_s)
+            if not math.isnan(p.itl_s):
+                itl_series.append(p.ts_s, p.itl_s)
+            if p.tenant is not None:
+                counts = self._tenant_counts.setdefault(p.tenant, [0, 0])
+                counts[1] += 1
+                if p.good:
+                    counts[0] += 1
+                self.series(
+                    f"tenant.{p.tenant}.requests_total", unit="requests"
+                ).append(p.ts_s, float(counts[1]))
+                self.series(
+                    f"tenant.{p.tenant}.good_total", unit="requests"
+                ).append(p.ts_s, float(counts[0]))
+
+    # ------------------------------------------------------------------
+    # tick-time evaluation
+
+    def windowed_attainment(self, window_s: float, now_s: float) -> float:
+        """SLO attainment over the trailing window (NaN without traffic)."""
+        total = self.series("slo.requests_total").delta(window_s, now_s)
+        if math.isnan(total) or total <= 0:
+            return float("nan")
+        good = self.series("slo.good_total").delta(window_s, now_s)
+        if math.isnan(good):
+            good = 0.0
+        return good / total
+
+    def windowed_ttft_p95(self, window_s: float, now_s: float) -> float:
+        return windowed_quantile(
+            self.series("slo.ttft_s"), 0.95, window_s, now_s
+        )
+
+    def burn_rates(self) -> tuple[float, float]:
+        """Most recent (fast, slow) burn rates (NaN before the first tick)."""
+        return self.last_burn_fast, self.last_burn_slow
+
+    def tick(self, now_s: float) -> list[Alert]:
+        """Flush completions, evaluate the budget, extend derived series.
+
+        Returns the alert *transitions* that occurred at this tick (the
+        caller lands them in the Chrome trace); the full log accumulates
+        in ``self.alerts``.
+        """
+        self._flush(now_s)
+        fast, slow, transitions = self.budget.evaluate(
+            now_s,
+            self.series("slo.good_total"),
+            self.series("slo.requests_total"),
+        )
+        self.last_burn_fast = fast
+        self.last_burn_slow = slow
+        self.last_tick_s = now_s
+        self.sample("slo.burn_rate_fast", now_s, fast)
+        self.sample("slo.burn_rate_slow", now_s, slow)
+        self.sample(
+            "slo.attainment",
+            now_s,
+            self.windowed_attainment(self.budget.fast_window_s, now_s),
+        )
+        self.sample(
+            "slo.ttft_p95_s",
+            now_s,
+            self.windowed_ttft_p95(self.budget.fast_window_s, now_s),
+            unit="s",
+        )
+        for tenant in sorted(self._tenant_counts):
+            total = self.series(f"tenant.{tenant}.requests_total").delta(
+                self.budget.fast_window_s, now_s
+            )
+            if math.isnan(total) or total <= 0:
+                attainment = float("nan")
+            else:
+                good = self.series(f"tenant.{tenant}.good_total").delta(
+                    self.budget.fast_window_s, now_s
+                )
+                attainment = (0.0 if math.isnan(good) else good) / total
+            self.sample(f"tenant.{tenant}.attainment", now_s, attainment)
+        self.alerts.extend(transitions)
+        return transitions
+
+    def finish(self, now_s: float) -> list[Alert]:
+        """End-of-run closeout: flush everything (including completions
+        recorded past the last tick) and evaluate once at the horizon."""
+        if self._pending:
+            now_s = max(now_s, max(p.ts_s for p in self._pending))
+        self._flush(now_s)
+        if now_s > self.last_tick_s:
+            return self.tick(now_s)
+        return []
+
+    # ------------------------------------------------------------------
+    # export
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            config={
+                "attainment_target": _json_num(self.budget.attainment_target),
+                "fast_window_s": _json_num(self.budget.fast_window_s),
+                "slow_window_s": _json_num(self.budget.slow_window_s),
+                "page_threshold": _json_num(self.budget.rules[0][2]),
+                "ticket_threshold": _json_num(self.budget.rules[1][2]),
+                "tick_interval_s": _json_num(self.tick_interval_s),
+            },
+            series={
+                name: series.to_json_dict()
+                for name, series in sorted(self._series.items())
+            },
+            alerts=tuple(self.alerts),
+        )
+
+
+class _NullTelemetry(TelemetryHub):
+    """Disabled hub: every producer call is a no-op.
+
+    Shared stateless instance — the ``enabled`` guard in the engine and
+    simulator means these methods are never on the hot path, but they
+    stay safe to call so callers need no None checks.
+    """
+
+    enabled = False
+    tick_interval_s = 0.5  # read (never armed) by tick-train plumbing
+
+    def __init__(self):  # noqa: D107 - no state, no slo import
+        pass
+
+    def series(self, name: str, unit: str = "") -> TimeSeries:  # pragma: no cover
+        raise RuntimeError("null telemetry has no series")
+
+    def sample(self, name, ts_s, value, unit="") -> None:
+        return None
+
+    def record_completion(self, ts_s, ttft_s, itl_s, good, tenant=None) -> None:
+        return None
+
+    def tick(self, now_s: float) -> list[Alert]:
+        return []
+
+    def finish(self, now_s: float) -> list[Alert]:
+        return []
+
+    def snapshot(self) -> None:  # type: ignore[override]
+        return None
+
+
+NULL_TELEMETRY = _NullTelemetry()

@@ -56,6 +56,7 @@ from repro.core.request import GenerationRequest, RequestState
 from repro.hardware.power import PowerModel
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.profiler import NULL_PROFILER, ProfileReport, StepProfiler
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetryHub, TelemetrySnapshot
 from repro.obs.timeline import RequestTimeline, build_timelines
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.estimator import phase_utilization
@@ -107,6 +108,7 @@ class EngineResult:
     oom: bool = False
     metrics: MetricsSnapshot | None = None  # registry snapshot (traced runs)
     profile: ProfileReport | None = None  # cost attribution (profiled runs)
+    telemetry: TelemetrySnapshot | None = None  # streaming series + alerts
 
     @cached_property
     def total_tokens(self) -> int:
@@ -187,6 +189,7 @@ class ServingEngine:
         kernel=None,
         profile: bool = False,
         core: str | None = None,
+        telemetry: TelemetryHub = NULL_TELEMETRY,
     ) -> None:
         """``optimistic=True`` enables vLLM's real admission policy:
         reserve only prompt blocks and preempt-and-recompute when the KV
@@ -213,7 +216,16 @@ class ServingEngine:
         ``phases.py`` evaluation (benchmark baselines).
 
         ``core`` selects the execution core (see the module docstring):
-        ``"vector"`` (default), ``"scalar"``, or ``"legacy"``."""
+        ``"vector"`` (default), ``"scalar"``, or ``"legacy"``.
+
+        ``telemetry`` (default the no-op
+        :data:`~repro.obs.telemetry.NULL_TELEMETRY`) attaches a streaming
+        :class:`~repro.obs.telemetry.TelemetryHub`: runs sample
+        queue/batch/KV gauges per iteration, record completions against
+        the hub's SLO, and evaluate burn-rate alerts on the hub's tick
+        cadence.  Results stay bit-identical either way — only the
+        result's ``telemetry`` snapshot differs.  Hubs carry state; pass
+        a fresh one per run."""
         if optimistic and not deployment.kv_spec.paged:
             raise ValueError("optimistic admission requires a paged KV spec")
         self.deployment = deployment
@@ -224,6 +236,7 @@ class ServingEngine:
         self.coalesce = coalesce
         self.optimistic = optimistic
         self.profile = profile
+        self.telemetry = telemetry
         self.core = resolve_core(core)
         # Optimistic admission mutates the allocator per token, so its
         # commits stay on the scalar object path even under core="vector".
@@ -523,6 +536,8 @@ class EngineRun:
         self._registry: MetricsRegistry | None = (
             MetricsRegistry() if self._traced else None
         )
+        self.telemetry = engine.telemetry
+        self._telemetry_on = engine.telemetry.enabled
         self._pressure = pressure
         self.profiler = (
             StepProfiler(
@@ -578,6 +593,8 @@ class EngineRun:
         if self._traced:
             self.tracer.advance(self.now)
             self._sample_gauges()
+        if self._telemetry_on:
+            self._sample_telemetry()
 
         admitted = scheduler.admit(self.now)
         if admitted:
@@ -640,6 +657,12 @@ class EngineRun:
         if self._traced:
             self.tracer.advance(self.now)
             self._sample_gauges()  # close the gauge series
+        telemetry_snapshot: TelemetrySnapshot | None = None
+        if self._telemetry_on:
+            # Closeout: flush buffered completions and settle alerts at
+            # the run's horizon.
+            self._emit_alerts(self.telemetry.finish(self.now))
+            telemetry_snapshot = self.telemetry.snapshot()
         resolved = list(requests) if requests is not None else list(self.submitted)
         return EngineResult(
             requests=resolved,
@@ -654,6 +677,7 @@ class EngineRun:
                 if self.profiler.enabled
                 else None
             ),
+            telemetry=telemetry_snapshot,
         )
 
     # ------------------------------------------------------------------
@@ -778,23 +802,74 @@ class EngineRun:
 
     def _observe_retired(self, done: list[GenerationRequest]) -> None:
         """Record per-request latency histograms at retirement."""
-        registry = self._registry
-        if registry is None or not done:
+        if not done:
             return
-        for request in done:
-            registry.histogram("ttft_s").record(request.ttft_s)
-            registry.histogram("e2e_s").record(request.end_to_end_latency_s)
-            if request.output_tokens > 0:
-                # NTPOT: whole-request latency per generated token
-                # (queueing and prefill included, unlike ITL).
-                registry.histogram("ntpot_s").record(
-                    request.end_to_end_latency_s / request.output_tokens
+        registry = self._registry
+        if registry is not None:
+            for request in done:
+                registry.histogram("ttft_s").record(request.ttft_s)
+                registry.histogram("e2e_s").record(request.end_to_end_latency_s)
+                if request.output_tokens > 0:
+                    # NTPOT: whole-request latency per generated token
+                    # (queueing and prefill included, unlike ITL).
+                    registry.histogram("ntpot_s").record(
+                        request.end_to_end_latency_s / request.output_tokens
+                    )
+                if request.output_tokens > 1 and request.first_token_time is not None:
+                    gap = (request.finish_time - request.first_token_time) / (
+                        request.output_tokens - 1
+                    )
+                    registry.histogram("itl_s").record(gap)
+        if self._telemetry_on:
+            hub = self.telemetry
+            for request in done:
+                first = request.first_token_time
+                ttft = request.ttft_s if first is not None else float("nan")
+                if request.output_tokens > 1 and first is not None:
+                    itl = (request.finish_time - first) / (
+                        request.output_tokens - 1
+                    )
+                else:
+                    itl = float("nan")
+                hub.record_completion(
+                    request.finish_time,
+                    ttft,
+                    itl,
+                    hub.slo_for(request.tenant).met_by(request),
+                    tenant=request.tenant,
                 )
-            if request.output_tokens > 1 and request.first_token_time is not None:
-                gap = (request.finish_time - request.first_token_time) / (
-                    request.output_tokens - 1
-                )
-                registry.histogram("itl_s").record(gap)
+
+    def _sample_telemetry(self) -> None:
+        """Per-iteration telemetry sample plus a throttled budget tick."""
+        hub = self.telemetry
+        now = self.now
+        scheduler = self.scheduler
+        hub.sample(
+            "engine.queue_depth", now, float(scheduler.arrived_count(now))
+        )
+        hub.sample("engine.batch_size", now, float(len(scheduler.running)))
+        allocator = scheduler.allocator
+        capacity = allocator.capacity_tokens
+        if capacity > 0:
+            hub.sample(
+                "engine.kv_occupancy", now, allocator.used_tokens / capacity
+            )
+        if now - hub.last_tick_s >= hub.tick_interval_s:
+            self._emit_alerts(hub.tick(now))
+
+    def _emit_alerts(self, transitions) -> None:
+        """Land alert transitions as control-category trace instants."""
+        if not self._traced:
+            return
+        for alert in transitions:
+            self.tracer.instant(
+                "control",
+                f"alert:{alert.name}:{alert.state}",
+                ts_s=alert.ts_s,
+                severity=alert.severity,
+                value=alert.value,
+                threshold=alert.threshold,
+            )
 
     def _final_snapshot(self) -> MetricsSnapshot | None:
         registry = self._registry

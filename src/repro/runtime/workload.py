@@ -5,9 +5,6 @@ arriving together); this module also provides Poisson arrivals and
 blended-token length distributions so the serving engine can be exercised
 under realistic load (summarization-style long-in/short-out, generation-
 style short-in/long-out — Section IV-A2's "blended tokens").
-
-This module was ``repro.runtime.trace`` before the event tracer
-(:mod:`repro.obs`) landed; the old name survives as a deprecated shim.
 """
 
 from __future__ import annotations

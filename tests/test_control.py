@@ -166,8 +166,10 @@ class TestRetryPolicy:
 
 class TestAutoscalers:
     def test_registry(self):
-        assert list_autoscalers() == sorted(["null", "queue-depth", "slo"])
-        assert set(AUTOSCALER_NAMES) == {"null", "queue-depth", "slo"}
+        assert list_autoscalers() == sorted(
+            ["null", "queue-depth", "slo", "burn-rate"]
+        )
+        assert set(AUTOSCALER_NAMES) == {"null", "queue-depth", "slo", "burn-rate"}
         with pytest.raises(KeyError, match="queue-depth"):
             get_autoscaler("nope")
 

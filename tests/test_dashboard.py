@@ -156,3 +156,136 @@ class TestExperimentSections:
         text = path.read_text(encoding="utf-8")
         assert "ttft_p50_s" in text
         assert "dash-a" in text
+
+
+def _tiny_deployment():
+    from repro.frameworks.base import get_framework
+    from repro.hardware.zoo import get_hardware
+    from repro.models.zoo import get_model
+    from repro.perf.phases import Deployment
+
+    return Deployment(
+        get_model("LLaMA-3-8B"), get_hardware("A100"), get_framework("vLLM")
+    )
+
+
+def _empty_metrics():
+    from repro.obs.metrics import MetricsSnapshot
+
+    return MetricsSnapshot()
+
+
+def _tiny_cluster():
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.runtime.workload import fixed_batch_trace
+
+    sim = ClusterSimulator(_tiny_deployment(), 1, max_concurrency=2)
+    return sim.run(fixed_batch_trace(1, 32, 8))
+
+
+def _empty_profile():
+    from repro.obs import StepProfiler
+
+    return StepProfiler(_tiny_deployment()).report(0.0, [])
+
+
+def _nan_replication():
+    from repro.experiments import ExperimentSpec, WorkloadSpec
+    from repro.experiments.runner import SeedResult, reduce_seed_results
+
+    spec = ExperimentSpec(
+        name="degenerate", model="LLaMA-3-8B", hardware="A100",
+        framework="vLLM", workload=WorkloadSpec(num_requests=1), seeds=(0,),
+    )
+    seed_results = (
+        SeedResult(seed=0, metrics={"ttft_p50_s": float("nan")}),
+    )
+    return reduce_seed_results(spec, seed_results)
+
+
+def _single_seed_comparison():
+    from repro.experiments import (
+        ExperimentSpec,
+        WorkloadSpec,
+        compare_replications,
+        run_replication,
+    )
+
+    spec = ExperimentSpec(
+        name="deg-a", model="LLaMA-3-8B", hardware="A100", framework="vLLM",
+        workload=WorkloadSpec(
+            kind="open_loop", num_requests=2, input_tokens=32,
+            output_tokens=8, rate_rps=4.0,
+        ),
+        seeds=(0,),
+    )
+    a = run_replication(spec)
+    b = run_replication(spec.with_name("deg-b"))
+    return compare_replications(a, b)  # one seed: every p-value is NaN
+
+
+def _empty_telemetry():
+    from repro.obs.telemetry import TelemetryHub
+
+    return TelemetryHub().snapshot()  # no samples, no completions, no alerts
+
+
+def _empty_optimization():
+    from repro.analysis.optimize.evaluate import ScreeningStats
+    from repro.analysis.optimize.report import (
+        FRONTIER_NAMES,
+        OptimizationReport,
+    )
+    from repro.analysis.optimize.space import SearchSpace
+
+    return OptimizationReport(
+        space=SearchSpace(
+            models=("LLaMA-3-8B",), hardware=("A100",), frameworks=("vLLM",)
+        ),
+        objective="cost_per_token_usd",
+        seed=0,
+        stats=ScreeningStats(0, 0, 0, 0),
+        best=None,
+        frontiers={name: () for name in FRONTIER_NAMES},
+        refined=(),
+    )
+
+
+class TestDegenerateSections:
+    """Every section builder must survive its emptiest legal input.
+
+    Empty snapshots, NaN-only metrics, single-seed comparisons (NaN
+    p-values), zero-config optimizer reports and sample-free telemetry
+    hubs all occur in real short runs; none may crash the dashboard or
+    leak a bare ``nan`` into the rendered HTML.
+    """
+
+    CASES = [
+        pytest.param("metrics_section_html", _empty_metrics, id="metrics"),
+        pytest.param("cluster_section_html", _tiny_cluster, id="cluster"),
+        pytest.param("profile_section_html", _empty_profile, id="profile"),
+        pytest.param(
+            "replication_section_html", _nan_replication, id="replication"
+        ),
+        pytest.param(
+            "comparison_section_html", _single_seed_comparison, id="comparison"
+        ),
+        pytest.param("scenarios_section_html", lambda: [], id="scenarios"),
+        pytest.param(
+            "telemetry_section_html", _empty_telemetry, id="telemetry"
+        ),
+        pytest.param(
+            "optimize_section_html", _empty_optimization, id="optimize"
+        ),
+    ]
+
+    @pytest.mark.parametrize("builder_name,make_input", CASES)
+    def test_renders_without_nan(self, builder_name, make_input):
+        import repro.dashboard.html as dash
+
+        builder = getattr(dash, builder_name)
+        fragment = builder(make_input())
+        assert isinstance(fragment, str) and "<h2>" in fragment
+        # Word-bounded so "tenants"/"dominant" don't false-positive;
+        # a leaked float NaN renders as the standalone token "nan".
+        assert not re.search(r"\bnan\b", fragment)

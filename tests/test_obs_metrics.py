@@ -69,6 +69,41 @@ class TestGauge:
 
     def test_empty_gauge_is_nan(self):
         assert math.isnan(Gauge("x").time_weighted_mean())
+        assert math.isnan(Gauge("x").last)
+
+    def test_single_sample_at_t0_reports_value(self):
+        # A gauge set exactly once at t=0 has zero span but a perfectly
+        # well-defined value: it held that value the whole run.
+        gauge = Gauge("x")
+        gauge.set(7.0, ts_s=0.0)
+        assert gauge.time_weighted_mean() == 7.0
+        assert gauge.last == 7.0
+
+    def test_zero_span_samples_average_plainly(self):
+        # All samples at the same instant: no interval to weight by, so
+        # the time-weighted mean degrades to the plain mean.
+        gauge = Gauge("x")
+        gauge.set(2.0, ts_s=1.0)
+        gauge.set(4.0, ts_s=1.0)
+        assert gauge.time_weighted_mean() == pytest.approx(3.0)
+
+    def test_out_of_order_set_raises(self):
+        gauge = Gauge("x")
+        gauge.set(1.0, ts_s=2.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            gauge.set(2.0, ts_s=1.0)
+        # Equal timestamps are fine (several gauges sampled per step).
+        gauge.set(3.0, ts_s=2.0)
+        assert gauge.last == 3.0
+
+    def test_nan_value_propagates_not_raises(self):
+        # NaN is a legitimate "unknown" sample (e.g. ITL with one output
+        # token); it poisons the mean rather than raising.
+        gauge = Gauge("x")
+        gauge.set(float("nan"), ts_s=0.0)
+        gauge.set(1.0, ts_s=1.0)
+        assert math.isnan(gauge.time_weighted_mean())
+        assert gauge.last == 1.0
 
 
 class TestHistogram:

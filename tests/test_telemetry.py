@@ -1,0 +1,510 @@
+"""Tests for the streaming telemetry bus and burn-rate alerting.
+
+Covers the primitives (ring-buffer time series, quantile sketch, the
+multi-window SLO budget), the hub's out-of-order completion handling,
+and the three integration contracts: telemetry-off runs are
+bit-identical to pre-telemetry builds, telemetry-on double runs export
+byte-identical JSON, and a flash crowd drives the full control loop
+(alert fires -> burn-rate autoscaler scales -> alert resolves) with the
+transitions visible in both the alert log and the Chrome trace.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.frameworks.base import get_framework
+from repro.hardware.zoo import get_hardware
+from repro.models.zoo import get_model
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Alert,
+    QuantileSketch,
+    SloBudget,
+    TelemetryHub,
+    TelemetrySnapshot,
+    TimeSeries,
+    windowed_quantile,
+)
+from repro.perf.phases import Deployment
+from repro.runtime.loadgen import ServiceLevelObjective
+
+
+def deployment() -> Deployment:
+    return Deployment(
+        get_model("LLaMA-3-8B"), get_hardware("A100"), get_framework("vLLM")
+    )
+
+
+class TestTimeSeries:
+    def test_append_and_views(self):
+        series = TimeSeries("q", unit="requests")
+        for ts, v in [(0.0, 1.0), (0.5, 2.0), (1.0, 3.0)]:
+            series.append(ts, v)
+        assert len(series) == 3
+        assert series.last == 3.0
+        assert series.last_ts == 1.0
+        np.testing.assert_array_equal(series.timestamps(), [0.0, 0.5, 1.0])
+        np.testing.assert_array_equal(series.values(), [1.0, 2.0, 3.0])
+
+    def test_out_of_order_append_raises(self):
+        series = TimeSeries("q")
+        series.append(1.0, 1.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            series.append(0.5, 2.0)
+        series.append(1.0, 3.0)  # equal timestamps are fine
+
+    def test_ring_wrap_keeps_newest(self):
+        series = TimeSeries("q", capacity=4)
+        for i in range(10):
+            series.append(float(i), float(i) * 10)
+        assert len(series) == 4
+        np.testing.assert_array_equal(series.timestamps(), [6.0, 7.0, 8.0, 9.0])
+        np.testing.assert_array_equal(series.values(), [60.0, 70.0, 80.0, 90.0])
+
+    def test_value_at_holds_last(self):
+        series = TimeSeries("q")
+        series.append(1.0, 10.0)
+        series.append(3.0, 30.0)
+        assert math.isnan(series.value_at(0.5))
+        assert series.value_at(0.5, default=0.0) == 0.0
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(2.9) == 10.0
+        assert series.value_at(100.0) == 30.0
+
+    def test_window_half_open(self):
+        series = TimeSeries("q")
+        for ts in (0.0, 1.0, 2.0, 3.0):
+            series.append(ts, ts)
+        # (now - window, now]: the sample exactly window_s old is excluded.
+        np.testing.assert_array_equal(series.window(2.0, 3.0), [2.0, 3.0])
+
+    def test_delta_and_rate_of_cumulative_counter(self):
+        series = TimeSeries("total")
+        for ts, v in [(0.0, 0.0), (1.0, 4.0), (2.0, 10.0)]:
+            series.append(ts, v)
+        assert series.delta(1.0, 2.0) == 6.0
+        assert series.rate(1.0, 2.0) == 6.0
+        # Window opening before the series: implicit zero start.
+        assert series.delta(10.0, 2.0) == 10.0
+        assert math.isnan(TimeSeries("x").delta(1.0, 0.0))
+
+    def test_ewma_converges_to_late_values(self):
+        series = TimeSeries("x")
+        series.append(0.0, 0.0)
+        for i in range(1, 50):
+            series.append(float(i), 10.0)
+        assert series.ewma(tau_s=1.0) == pytest.approx(10.0, abs=1e-6)
+
+    def test_time_weighted_mean_single_sample(self):
+        series = TimeSeries("x")
+        series.append(0.0, 7.0)
+        assert series.time_weighted_mean() == 7.0
+
+    def test_time_weighted_mean_hold_last(self):
+        series = TimeSeries("x")
+        series.append(0.0, 0.0)
+        series.append(1.0, 10.0)
+        # value 0 held over [0,1), value 10 over [1,3): (0*1 + 10*2)/3.
+        assert series.time_weighted_mean(now_s=3.0) == pytest.approx(20 / 3)
+
+    def test_json_round_trip(self):
+        series = TimeSeries("x", unit="tokens")
+        series.append(0.0, 1.0)
+        series.append(1.0, float("nan"))
+        payload = series.to_json_dict()
+        assert payload["values"][1] is None  # NaN travels as null
+        back = TimeSeries.from_json_dict("x", payload)
+        assert back.to_json_dict() == payload
+
+
+class TestQuantileSketch:
+    def test_empty_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.95))
+        assert QuantileSketch().count == 0
+
+    def test_exact_min_max(self):
+        sketch = QuantileSketch()
+        for v in (0.2, 0.4, 0.6):
+            sketch.add(v)
+        assert sketch.quantile(0.0) == 0.2
+        assert sketch.quantile(1.0) == 0.6
+
+    def test_quantiles_track_numpy_within_bucket_resolution(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(-1.0, 0.8, size=2000)
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.add(float(v))
+        for q in (0.5, 0.9, 0.95):
+            exact = float(np.quantile(values, q))
+            approx = sketch.quantile(q)
+            # 128 geometric buckets over 8 decades: ~15% bucket width.
+            assert approx == pytest.approx(exact, rel=0.20)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().add(float("nan"))
+
+    def test_deterministic(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in (0.01, 0.5, 2.0, 30.0):
+            a.add(v)
+            b.add(v)
+        assert a.quantile(0.95) == b.quantile(0.95)
+
+    def test_windowed_quantile(self):
+        series = TimeSeries("ttft")
+        for ts, v in [(0.0, 5.0), (1.0, 0.1), (2.0, 0.2), (3.0, 0.3)]:
+            series.append(ts, v)
+        # The window excludes the old 5.0 outlier; with 3 samples the
+        # sketch's rank interpolation lands between the two largest.
+        p95 = windowed_quantile(series, 0.95, window_s=3.0, now_s=3.0)
+        assert 0.1 < p95 <= 0.3
+        assert math.isnan(
+            windowed_quantile(series, 0.95, window_s=1.0, now_s=100.0)
+        )
+
+
+class TestAlert:
+    def test_json_round_trip(self):
+        alert = Alert(
+            name="slo-burn-page", severity="page", state="firing",
+            ts_s=11.0, window_s=5.0, value=14.67, threshold=8.0,
+        )
+        assert Alert.from_json_dict(alert.to_json_dict()) == alert
+
+
+class TestSloBudget:
+    @staticmethod
+    def _series(pairs):
+        series = TimeSeries("x")
+        for ts, v in pairs:
+            series.append(ts, v)
+        return series
+
+    def test_burn_rate_math(self):
+        budget = SloBudget(attainment_target=0.95)
+        total = self._series([(0.0, 0.0), (5.0, 20.0)])
+        good = self._series([(0.0, 0.0), (5.0, 18.0)])
+        # 2/20 missed over a 5% budget: burn 2.0.
+        assert budget.burn_rate(good, total, 5.0, 5.0) == pytest.approx(2.0)
+
+    def test_no_traffic_is_nan(self):
+        budget = SloBudget()
+        total = self._series([(0.0, 10.0), (1.0, 10.0)])
+        good = self._series([(0.0, 10.0), (1.0, 10.0)])
+        assert math.isnan(budget.burn_rate(good, total, 0.5, 50.0))
+
+    def test_fire_requires_both_windows(self):
+        budget = SloBudget(
+            attainment_target=0.95, fast_window_s=5.0, slow_window_s=30.0
+        )
+        # Burst of misses inside the fast window only: the slow window
+        # has absorbed 300 earlier good completions (before the fast
+        # window opens at t=24), so no alert.
+        total = self._series([(0.0, 0.0), (20.0, 300.0), (29.0, 320.0)])
+        good = self._series([(0.0, 0.0), (20.0, 300.0), (29.0, 300.0)])
+        fast, slow, transitions = budget.evaluate(29.0, good, total)
+        assert fast > 8.0
+        assert slow < 2.0
+        assert transitions == []
+
+    def test_fire_and_resolve_cycle(self):
+        budget = SloBudget(fast_window_s=5.0, slow_window_s=30.0)
+        total = self._series([(0.0, 0.0)])
+        good = self._series([(0.0, 0.0)])
+        # Sustained misses: both windows burn hot -> page + ticket fire.
+        total.append(4.0, 40.0)
+        good.append(4.0, 0.0)
+        _, _, fired = budget.evaluate(4.0, good, total)
+        assert {(a.name, a.state) for a in fired} == {
+            ("slo-burn-page", "firing"),
+            ("slo-burn-ticket", "firing"),
+        }
+        # Recovery: the fast window fills with good completions.
+        total.append(20.0, 140.0)
+        good.append(20.0, 100.0)
+        _, _, resolved = budget.evaluate(20.0, good, total)
+        assert {(a.name, a.state) for a in resolved} == {
+            ("slo-burn-page", "resolved"),
+            ("slo-burn-ticket", "resolved"),
+        }
+
+    def test_nan_never_transitions(self):
+        budget = SloBudget()
+        total = self._series([(0.0, 0.0), (4.0, 40.0)])
+        good = self._series([(0.0, 0.0), (4.0, 0.0)])
+        budget.evaluate(4.0, good, total)  # both alerts now firing
+        # Quiet period: no completions in either window -> NaN -> the
+        # alerts must stay latched rather than flap.
+        _, _, transitions = budget.evaluate(100.0, good, total)
+        assert transitions == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloBudget(attainment_target=1.0)
+        with pytest.raises(ValueError):
+            SloBudget(fast_window_s=30.0, slow_window_s=5.0)
+        with pytest.raises(ValueError):
+            SloBudget(page_threshold=1.0, ticket_threshold=2.0)
+
+
+class TestTelemetryHub:
+    def test_series_create_on_first_use(self):
+        hub = TelemetryHub()
+        series = hub.series("fleet.queue_depth", unit="requests")
+        assert hub.series("fleet.queue_depth") is series
+        hub.sample("fleet.queue_depth", 0.5, 3.0)
+        assert series.last == 3.0
+
+    def test_out_of_order_completions_are_buffered(self):
+        # Replicas finish requests out of global order; the hub buffers
+        # and flushes sorted so ring appends stay monotone.
+        hub = TelemetryHub(slo=ServiceLevelObjective(ttft_s=1.5, itl_s=1.0))
+        hub.record_completion(2.0, ttft_s=0.5, itl_s=0.01, good=True)
+        hub.record_completion(1.0, ttft_s=0.4, itl_s=0.01, good=True)
+        hub.record_completion(1.5, ttft_s=3.0, itl_s=0.01, good=False)
+        hub.tick(2.5)
+        total = hub.series("slo.requests_total")
+        np.testing.assert_array_equal(total.timestamps(), [1.0, 1.5, 2.0])
+        np.testing.assert_array_equal(total.values(), [1.0, 2.0, 3.0])
+        good = hub.series("slo.good_total")
+        np.testing.assert_array_equal(good.values(), [1.0, 1.0, 2.0])
+
+    def test_tick_emits_slo_series(self):
+        hub = TelemetryHub()
+        hub.record_completion(0.4, ttft_s=0.1, itl_s=0.01, good=True)
+        hub.record_completion(0.6, ttft_s=0.2, itl_s=0.01, good=False)
+        hub.tick(1.0)
+        assert hub.series("slo.attainment").last == 0.5
+        assert 0.1 <= hub.series("slo.ttft_p95_s").last <= 0.2
+        assert not math.isnan(hub.series("slo.burn_rate_fast").last)
+
+    def test_tenant_lanes(self):
+        tenant_slo = ServiceLevelObjective(ttft_s=0.5, itl_s=1.0)
+        hub = TelemetryHub(tenant_slos={"premium": tenant_slo})
+        assert hub.slo_for("premium") is tenant_slo
+        hub.record_completion(
+            0.4, ttft_s=0.1, itl_s=0.01, good=True, tenant="premium"
+        )
+        hub.tick(1.0)
+        assert hub.series("tenant.premium.attainment").last == 1.0
+        assert hub.series("tenant.premium.requests_total").last == 1.0
+
+    def test_finish_flushes_pending(self):
+        hub = TelemetryHub()
+        hub.record_completion(7.0, ttft_s=0.1, itl_s=0.01, good=True)
+        hub.finish(1.0)  # completions past "now" still land
+        assert hub.series("slo.requests_total").last == 1.0
+
+    def test_snapshot_round_trip_is_byte_identical(self):
+        hub = TelemetryHub()
+        hub.sample("fleet.queue_depth", 0.5, 3.0, unit="requests")
+        hub.record_completion(0.4, ttft_s=0.1, itl_s=float("nan"), good=True)
+        hub.finish(1.0)
+        snapshot = hub.snapshot()
+        blob = json.dumps(snapshot.to_json_dict(), sort_keys=True, indent=1)
+        back = TelemetrySnapshot.from_json_dict(
+            json.loads(blob)
+        )
+        assert json.dumps(back.to_json_dict(), sort_keys=True, indent=1) == blob
+
+    def test_null_hub_is_disabled_and_inert(self):
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.sample("x", 0.0, 1.0)
+        NULL_TELEMETRY.record_completion(0.0, 0.1, 0.01, True)
+        assert NULL_TELEMETRY.tick(1.0) == []
+        assert NULL_TELEMETRY.finish(1.0) == []
+        assert NULL_TELEMETRY.snapshot() is None
+        with pytest.raises(RuntimeError):
+            NULL_TELEMETRY.series("x")
+
+
+class TestEngineIdentity:
+    """Telemetry off must be bit-identical; on must be deterministic."""
+
+    @staticmethod
+    def _run(telemetry=None):
+        from repro.runtime.engine import ServingEngine
+        from repro.runtime.workload import open_loop_trace
+
+        kwargs = {} if telemetry is None else {"telemetry": telemetry}
+        engine = ServingEngine(deployment(), max_concurrency=8, **kwargs)
+        return engine.run(open_loop_trace(24, 6.0, 256, 96, seed=3))
+
+    @staticmethod
+    def _fingerprint(result):
+        return (
+            result.total_time_s,
+            result.iterations,
+            result.decode_steps,
+            result.average_power_w,
+            [(r.first_token_time, r.finish_time) for r in result.requests],
+        )
+
+    def test_off_is_bit_identical(self):
+        plain = self._run()
+        instrumented = self._run(TelemetryHub())
+        assert plain.telemetry is None
+        assert instrumented.telemetry is not None
+        assert self._fingerprint(plain) == self._fingerprint(instrumented)
+
+    def test_double_run_json_is_byte_identical(self):
+        blobs = []
+        for _ in range(2):
+            result = self._run(TelemetryHub())
+            blobs.append(
+                json.dumps(
+                    result.telemetry.to_json_dict(), sort_keys=True, indent=1
+                )
+            )
+        assert blobs[0] == blobs[1]
+
+    def test_engine_samples_and_alerts(self):
+        result = self._run(TelemetryHub())
+        names = set(result.telemetry.series)
+        assert {"engine.queue_depth", "engine.batch_size"} <= names
+        assert {"slo.attainment", "slo.burn_rate_fast"} <= names
+
+
+class TestClusterIdentity:
+    @staticmethod
+    def _run(telemetry=None, **kwargs):
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.runtime.workload import open_loop_trace
+
+        sim = ClusterSimulator(
+            deployment(), 2, max_concurrency=8, telemetry=telemetry, **kwargs
+        )
+        return sim.run(open_loop_trace(32, 8.0, 256, 96, seed=5))
+
+    def test_off_is_bit_identical(self):
+        # The default (no hub) and an explicit NULL_TELEMETRY must walk
+        # the exact same code path: no control ticks, no sampling, and
+        # byte-for-byte identical result JSON.  (An *attached* hub arms
+        # 0.5s control ticks, which legitimately chop decode spans at
+        # different boundaries — that path is covered by the
+        # determinism tests below, not by bit-identity with "off".)
+        plain = self._run()
+        nulled = self._run(NULL_TELEMETRY)
+        assert plain.telemetry is None
+        assert nulled.telemetry is None
+        assert plain.to_json_dict() == nulled.to_json_dict()
+
+    def test_off_json_has_no_telemetry_key(self):
+        # Old-bundle compatibility: the key appears only when attached.
+        assert "telemetry" not in self._run().to_json_dict()
+
+    def test_double_run_json_is_byte_identical(self):
+        blobs = [
+            json.dumps(
+                self._run(TelemetryHub()).to_json_dict(),
+                sort_keys=True,
+                indent=1,
+            )
+            for _ in range(2)
+        ]
+        assert blobs[0] == blobs[1]
+
+    def test_fleet_and_replica_series(self):
+        result = self._run(TelemetryHub())
+        names = set(result.telemetry.series)
+        assert {"fleet.queue_depth", "fleet.serving"} <= names
+        assert any(name.startswith("replica.") for name in names)
+
+    def test_profiled_run_samples_utilization(self):
+        result = self._run(TelemetryHub(), profiled=True)
+        names = set(result.telemetry.series)
+        assert any(name.endswith(".mfu") for name in names)
+        assert any(name.endswith(".joules_per_token") for name in names)
+
+
+class TestFlashCrowdControlLoop:
+    """The closed loop: flash crowd -> alert -> autoscale -> resolve."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.control import BurnRateAutoscaler, ControlPlane
+        from repro.scenarios import (
+            FlashCrowdArrivals,
+            LognormalLengths,
+            Scenario,
+            SingleShot,
+        )
+
+        scenario = Scenario(
+            name="flash",
+            description="flash crowd over a 2-replica fleet",
+            arrival=FlashCrowdArrivals(
+                base_rps=0.8, flash_at_s=20.0, flash_factor=6.0,
+                ramp_s=2.0, hold_s=6.0, decay_s=8.0,
+            ),
+            lengths=LognormalLengths(
+                mean_input_tokens=400.0, mean_output_tokens=160.0
+            ),
+            sessions=SingleShot(),
+            num_sessions=96,
+        )
+        sim = ClusterSimulator(
+            deployment(),
+            2,
+            max_concurrency=4,
+            traced=True,
+            control=ControlPlane(
+                autoscaler=BurnRateAutoscaler(
+                    slo=ServiceLevelObjective(ttft_s=1.5, itl_s=1 / 12),
+                    max_replicas=6,
+                ),
+            ),
+        )
+        return sim.run(scenario.build(0))
+
+    def test_hub_auto_created(self, result):
+        # No explicit hub: the burn-rate policy needs one, so the
+        # simulator arms it automatically.
+        assert result.telemetry is not None
+
+    def test_alert_fires_and_resolves(self, result):
+        states = [(a.name, a.state) for a in result.telemetry.alerts]
+        assert ("slo-burn-ticket", "firing") in states
+        assert ("slo-burn-ticket", "resolved") in states
+        fired_at = next(
+            a.ts_s
+            for a in result.telemetry.alerts
+            if a.name == "slo-burn-ticket" and a.state == "firing"
+        )
+        resolved_at = next(
+            a.ts_s
+            for a in result.telemetry.alerts
+            if a.name == "slo-burn-ticket" and a.state == "resolved"
+        )
+        assert fired_at < resolved_at
+
+    def test_autoscaler_scales_on_burn(self, result):
+        ups = [e for e in result.scale_log if e["action"] == "up"]
+        assert ups, "burn-rate autoscaler never scaled up under the flash"
+        fired_at = next(
+            a.ts_s for a in result.telemetry.alerts if a.state == "firing"
+        )
+        # Scale-ups happen while the budget is burning, not before the
+        # flash hits.
+        assert all(e["ts_s"] >= 20.0 for e in ups)
+        assert any(abs(e["ts_s"] - fired_at) < 15.0 for e in ups)
+
+    def test_alerts_land_in_chrome_trace(self, result):
+        control = result.replica_events.get("control", [])
+        names = {e.name for e in control if e.category == "control"}
+        assert any(n.startswith("alert:slo-burn-ticket:firing") for n in names)
+        assert any(
+            n.startswith("alert:slo-burn-ticket:resolved") for n in names
+        )
+        assert any(n == "scale_up" for n in names)
+
+    def test_burn_series_peaks_during_flash(self, result):
+        burn = result.telemetry.series["slo.burn_rate_fast"]
+        values = [v for v in burn["values"] if v is not None]
+        assert max(values) > 2.0
